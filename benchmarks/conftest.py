@@ -1,0 +1,57 @@
+"""Benchmark harness configuration.
+
+Each bench regenerates one paper artifact via the experiment registry and
+prints the paper-vs-measured report. ``pedantic`` single-round execution is
+used because the workloads are full experiments, not micro-kernels.
+
+Scale: set ``ECT_BENCH_SCALE`` (default shown per bench) to trade fidelity
+for runtime; EXPERIMENTS.md records results at the defaults.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+#: Rendered artifact reports are also persisted here.
+REPORT_DIR = Path(__file__).parent / "reports"
+
+#: Reports collected this session, replayed in the terminal summary.
+_SESSION_REPORTS: list[str] = []
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every regenerated artifact after the benchmark table."""
+    for report in _SESSION_REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(report)
+
+
+def bench_scale(default: float) -> float:
+    """Benchmark scale factor, overridable via the environment."""
+    return float(os.environ.get("ECT_BENCH_SCALE", default))
+
+
+@pytest.fixture()
+def run_artifact(benchmark):
+    """Run one experiment under pytest-benchmark and print its report."""
+
+    def _run(experiment_id: str, *, scale: float, seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        report = result.rendered()
+        REPORT_DIR.mkdir(exist_ok=True)
+        (REPORT_DIR / f"{experiment_id}.txt").write_text(report + "\n")
+        _SESSION_REPORTS.append(report)
+        return result
+
+    return _run

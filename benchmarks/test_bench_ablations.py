@@ -1,0 +1,15 @@
+"""Benches: ablations — schedulers vs DP bound, c_BP sweep, loss forms."""
+
+from conftest import bench_scale
+
+
+def test_bench_abl_sched(run_artifact):
+    run_artifact("abl-sched", scale=bench_scale(1.0))
+
+
+def test_bench_abl_cbp(run_artifact):
+    run_artifact("abl-cbp", scale=bench_scale(1.0))
+
+
+def test_bench_abl_loss(run_artifact):
+    run_artifact("abl-loss", scale=bench_scale(0.5))

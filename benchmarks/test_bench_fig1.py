@@ -1,0 +1,7 @@
+"""Bench: regenerate paper artifact fig1 (see DESIGN.md §4)."""
+
+from conftest import bench_scale
+
+
+def test_bench_fig1(run_artifact):
+    run_artifact("fig1", scale=bench_scale(1.0))

@@ -1,0 +1,7 @@
+"""Bench: regenerate paper artifact fig11 (see DESIGN.md §4)."""
+
+from conftest import bench_scale
+
+
+def test_bench_fig11(run_artifact):
+    run_artifact("fig11", scale=bench_scale(0.5))

@@ -1,0 +1,7 @@
+"""Bench: regenerate paper artifact fig12 (see DESIGN.md §4)."""
+
+from conftest import bench_scale
+
+
+def test_bench_fig12(run_artifact):
+    run_artifact("fig12", scale=bench_scale(0.5))

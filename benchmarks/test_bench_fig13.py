@@ -1,0 +1,11 @@
+"""Bench: Fig. 13 — reward curves of 4 hubs x 4 pricing methods.
+
+DRL training runs inside; default scale 0.5 keeps this a few minutes.
+Paper scale (500 train episodes) is reachable via ECT_BENCH_SCALE.
+"""
+
+from conftest import bench_scale
+
+
+def test_bench_fig13(run_artifact):
+    run_artifact("fig13", scale=bench_scale(0.5))

@@ -1,0 +1,7 @@
+"""Bench: Table III — average daily rewards for all 12 hubs."""
+
+from conftest import bench_scale
+
+
+def test_bench_table3(run_artifact):
+    run_artifact("table3", scale=bench_scale(0.5))

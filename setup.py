@@ -1,0 +1,8 @@
+"""Thin setup shim so `pip install -e .` works without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on offline environments.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,266 @@
+"""ECT-Price: the CF-MTL counterfactual stratification model (§IV-A).
+
+Two NCF-style towers trained jointly on observational (X, T, Y) data:
+
+* a **stratification task** predicting the strata probabilities
+  ``(f00, f01, f11)`` = P(No Charge), P(Incentive Charge), P(Always Charge)
+  as a 3-way softmax head (Fig. 9's three outputs);
+* a **propensity task** predicting ``g(X) = P(T=1 | X)``.
+
+Counterfactual identification (Eqs. 13–16) ties products of the two tasks'
+outputs to observable cell indicators. Two loss forms are provided:
+
+* ``loss_form="nll"`` (default) — the maximum-likelihood form: the four
+  observation cells partition the outcome space, so we minimise the
+  categorical negative log-likelihood of the realised cell, with the three
+  strata as a softmax head. Statistically efficient (it is the MLE of the
+  same identification).
+* ``loss_form="mse"`` — the paper's Eq. 23 as printed: a sum of MSE terms
+  between probability products and cell indicators. Kept for paper-exact
+  comparison; converges noticeably slower (see EXPERIMENTS.md).
+
+The identification table both forms encode:
+
+====  ==========================  =====================
+loss  prediction                  observation indicator
+====  ==========================  =====================
+L1    ``f00 · g``                 ``Y=0 & T=1``
+L2    ``f11 · (1−g)``             ``Y=1 & T=0``
+L3    ``(f01 + f11) · g``         ``Y=1 & T=1``
+L4    ``(f00 + f01) · (1−g)``     ``Y=0 & T=0``
+Lp    ``g``                       ``T=1``
+====  ==========================  =====================
+
+Note on L4: the paper's Eq. 16/21 prints ``f00 + f11`` for the
+``(Y=0, T=0)`` cell, but an untreated *Always* item charges (Y=1) while an
+untreated *Incentive* item does not — the cell is reached by None and
+Incentive, i.e. ``f00 + f01`` (equivalently ``1 − f11``, the complement of
+Eq. 14). We default to the corrected identity; ``paper_eq16_compat=True``
+reproduces the printed loss for comparison.
+
+Architecture: one shared NCF (NeuMF) trunk with four heads — three strata
+plus the propensity. The paper states "the two tasks in ECT-Price use NCF
+as base models" (§V-A) and stresses "the multi-task learning approach";
+sharing the embeddings/trunk is what gives CF-MTL its efficiency edge over
+the OR baseline, whose μ₁/μ₀ models each see only their own treatment arm
+(roughly half the data per parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..errors import ConfigError, NotFittedError
+from ..synth.charging import Stratum
+from .dataset import PricingDataset
+from .ncf import NcfConfig, NcfNetwork
+
+
+@dataclass(frozen=True)
+class EctPriceConfig:
+    """Hyperparameters of the CF-MTL model.
+
+    Defaults mirror the paper's §V-A training setup (Adam, lr 0.01, weight
+    decay 1e-4, batch 64) at CPU-friendly sizes.
+    """
+
+    embedding_dim: int = 8
+    hidden_sizes: tuple[int, ...] = (32, 16)
+    learning_rate: float = 0.01
+    weight_decay: float = 0.0
+    batch_size: int = 128
+    epochs: int = 30
+    loss_form: str = "nll"
+    paper_eq16_compat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0:
+            raise ConfigError("embedding_dim must be positive")
+        if any(h <= 0 for h in self.hidden_sizes):
+            raise ConfigError("hidden sizes must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+        if self.weight_decay < 0:
+            raise ConfigError("weight_decay must be non-negative")
+        if self.batch_size <= 0 or self.epochs <= 0:
+            raise ConfigError("batch_size and epochs must be positive")
+        if self.loss_form not in ("nll", "mse"):
+            raise ConfigError(
+                f"loss_form must be 'nll' or 'mse', got {self.loss_form!r}"
+            )
+
+
+def _shared_network(
+    n_stations: int,
+    n_time_ids: int,
+    config: EctPriceConfig,
+    rng: np.random.Generator,
+) -> NcfNetwork:
+    """The shared multi-task NCF: heads [f00, f01, f11, g]."""
+    ncf_config = NcfConfig(
+        embedding_dim=config.embedding_dim,
+        hidden_sizes=config.hidden_sizes,
+        learning_rate=config.learning_rate,
+        weight_decay=config.weight_decay,
+        batch_size=config.batch_size,
+        epochs=config.epochs,
+    )
+    return NcfNetwork(n_stations, n_time_ids, ncf_config, rng, n_outputs=4)
+
+
+class EctPriceModel:
+    """The jointly-trained stratification + propensity model."""
+
+    #: Softmax column order, aligned with the :class:`Stratum` enum.
+    STRATA_ORDER = (Stratum.NONE, Stratum.INCENTIVE, Stratum.ALWAYS)
+
+    def __init__(
+        self,
+        n_stations: int,
+        n_time_ids: int,
+        config: EctPriceConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or EctPriceConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.network = _shared_network(n_stations, n_time_ids, self.config, self._rng)
+        self._optimizer = nn.Adam(
+            self.network.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # Loss (Eq. 23)                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _heads(
+        self, station_ids: np.ndarray, time_ids: np.ndarray
+    ) -> tuple[nn.Tensor, nn.Tensor, nn.Tensor, nn.Tensor]:
+        """Forward pass → (f00, f01, f11, g) as 1-D tensors."""
+        batch = len(station_ids)
+        logits = self.network(station_ids, time_ids)
+        c0 = logits.select_columns(np.zeros(batch, dtype=int)).reshape(batch, 1)
+        c1 = logits.select_columns(np.ones(batch, dtype=int)).reshape(batch, 1)
+        c2 = logits.select_columns(np.full(batch, 2, dtype=int)).reshape(batch, 1)
+        strata = nn.concat([c0, c1, c2], axis=1).softmax(axis=-1)
+        f00 = strata.select_columns(np.zeros(batch, dtype=int))
+        f01 = strata.select_columns(np.ones(batch, dtype=int))
+        f11 = strata.select_columns(np.full(batch, 2, dtype=int))
+        g = logits.select_columns(np.full(batch, 3, dtype=int)).sigmoid()
+        return f00, f01, f11, g
+
+    def loss(
+        self,
+        station_ids: np.ndarray,
+        time_ids: np.ndarray,
+        treated: np.ndarray,
+        charged: np.ndarray,
+    ) -> nn.Tensor:
+        """The joint objective on one batch (Eq. 23 or its MLE form)."""
+        treated = np.asarray(treated, dtype=float)
+        charged = np.asarray(charged, dtype=float)
+        f00, f01, f11, g = self._heads(station_ids, time_ids)
+
+        y0t1 = nn.Tensor(((charged == 0) & (treated == 1)).astype(float))
+        y1t0 = nn.Tensor(((charged == 1) & (treated == 0)).astype(float))
+        y1t1 = nn.Tensor(((charged == 1) & (treated == 1)).astype(float))
+        y0t0 = nn.Tensor(((charged == 0) & (treated == 0)).astype(float))
+
+        if self.config.loss_form == "nll":
+            p1 = (f00 * g).clip(1e-9, 1.0)
+            p2 = (f11 * (1.0 - g)).clip(1e-9, 1.0)
+            p3 = ((f01 + f11) * g).clip(1e-9, 1.0)
+            p4 = ((f00 + f01) * (1.0 - g)).clip(1e-9, 1.0)
+            nll = -(
+                y0t1 * p1.log()
+                + y1t0 * p2.log()
+                + y1t1 * p3.log()
+                + y0t0 * p4.log()
+            )
+            return nll.mean()
+
+        l1 = nn.mse_loss(f00 * g, y0t1)
+        l2 = nn.mse_loss(f11 * (1.0 - g), y1t0)
+        l3 = nn.mse_loss((f01 + f11) * g, y1t1)
+        if self.config.paper_eq16_compat:
+            l4 = nn.mse_loss((f00 + f11) * (1.0 - g), y0t0)
+        else:
+            l4 = nn.mse_loss((f00 + f01) * (1.0 - g), y0t0)
+        lp = nn.mse_loss(g, nn.Tensor(treated))
+        return l1 + l2 + l3 + l4 + lp
+
+    # ------------------------------------------------------------------ #
+    # Training                                                             #
+    # ------------------------------------------------------------------ #
+
+    def fit(self, dataset: PricingDataset) -> list[float]:
+        """Joint minimisation of Eq. 23; returns per-epoch mean losses."""
+        history: list[float] = []
+        for _ in range(self.config.epochs):
+            epoch_loss = 0.0
+            n_batches = 0
+            for idx in dataset.batches(self.config.batch_size, self._rng):
+                loss = self.loss(
+                    dataset.station_ids[idx],
+                    dataset.time_ids[idx],
+                    dataset.treated[idx],
+                    dataset.charged[idx],
+                )
+                self._optimizer.zero_grad()
+                loss.backward()
+                self._optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            history.append(epoch_loss / max(n_batches, 1))
+        self._fitted = True
+        return history
+
+    # ------------------------------------------------------------------ #
+    # Inference                                                            #
+    # ------------------------------------------------------------------ #
+
+    def predict_strata(
+        self, station_ids: np.ndarray, time_ids: np.ndarray
+    ) -> np.ndarray:
+        """(n, 3) strata probabilities ordered [None, Incentive, Always]."""
+        if not self._fitted:
+            raise NotFittedError("EctPriceModel.predict_strata called before fit")
+        self.network.eval()
+        logits = self.network(
+            np.asarray(station_ids, dtype=int), np.asarray(time_ids, dtype=int)
+        ).numpy()
+        self.network.train()
+        strata = logits[:, :3]
+        shifted = np.exp(strata - strata.max(axis=1, keepdims=True))
+        return shifted / shifted.sum(axis=1, keepdims=True)
+
+    def predict_strata_normalized(
+        self, station_ids: np.ndarray, time_ids: np.ndarray
+    ) -> np.ndarray:
+        """Alias of :meth:`predict_strata` (already a simplex distribution)."""
+        return self.predict_strata(station_ids, time_ids)
+
+    def predict_stratum(
+        self, station_ids: np.ndarray, time_ids: np.ndarray
+    ) -> np.ndarray:
+        """Argmax stratum per item, as :class:`Stratum` integer codes."""
+        return self.predict_strata(station_ids, time_ids).argmax(axis=1)
+
+    def predict_propensity(
+        self, station_ids: np.ndarray, time_ids: np.ndarray
+    ) -> np.ndarray:
+        """Estimated ``P(T=1 | X)`` per item."""
+        if not self._fitted:
+            raise NotFittedError("EctPriceModel.predict_propensity called before fit")
+        self.network.eval()
+        logits = self.network(
+            np.asarray(station_ids, dtype=int), np.asarray(time_ids, dtype=int)
+        ).numpy()
+        self.network.train()
+        clipped = np.clip(logits[:, 3], -60.0, 60.0)
+        return 1.0 / (1.0 + np.exp(-clipped))

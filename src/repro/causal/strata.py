@@ -1,0 +1,78 @@
+"""Strata definitions and the paper's NCF-based labeling heuristic.
+
+The paper cannot observe counterfactuals, so it *labels* strata for
+supervision (§V-A): every slot with a charging record is ``Y = 1``; an NCF
+pre-trained on the records scores those items, the top half becomes
+*Always Charge* and the bottom half *Incentive Charge*; everything else is
+*No Charge*. Our synthetic generator knows the true latent strata, so both
+the heuristic labels (paper-faithful) and the ground truth are available —
+the gap between them is itself reported in the experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..synth.charging import Stratum
+from .dataset import PricingDataset
+from .ncf import NcfConfig, NcfRegressor, pretrain_rating_model
+
+__all__ = [
+    "Stratum",
+    "heuristic_strata_labels",
+    "ground_truth_labels",
+    "label_agreement",
+]
+
+
+def heuristic_strata_labels(
+    dataset: PricingDataset,
+    rng: np.random.Generator,
+    *,
+    ncf_config: NcfConfig | None = None,
+    rating_model: NcfRegressor | None = None,
+) -> np.ndarray:
+    """The paper's labeling pipeline: NCF ratings split charged items.
+
+    Returns an array of :class:`Stratum` values per item. Pass a pre-trained
+    ``rating_model`` to reuse one labeler across splits (as the paper's
+    single pre-training run does); otherwise one is trained on ``dataset``.
+    """
+    if len(dataset) == 0:
+        return np.empty(0, dtype=int)
+    model = rating_model or pretrain_rating_model(
+        dataset, ncf_config or NcfConfig(), rng
+    )
+    labels = np.full(len(dataset), int(Stratum.NONE), dtype=int)
+    charged_mask = dataset.charged == 1
+    if not charged_mask.any():
+        return labels
+
+    ratings = model.predict(
+        dataset.station_ids[charged_mask], dataset.time_ids[charged_mask]
+    )
+    # "we label half of the items with the highest predicted ratings as
+    #  Always Charge and the remaining half as Incentive Charge"
+    median = np.median(ratings)
+    charged_labels = np.where(ratings >= median, int(Stratum.ALWAYS), int(Stratum.INCENTIVE))
+    labels[charged_mask] = charged_labels
+    return labels
+
+
+def ground_truth_labels(dataset: PricingDataset) -> np.ndarray:
+    """The generator's latent strata (evaluation-only oracle)."""
+    if not dataset.has_ground_truth:
+        raise DataError("dataset carries no ground-truth strata")
+    return dataset.stratum.copy()
+
+
+def label_agreement(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Fraction of items on which two labelings agree."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise DataError(f"label shapes differ: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 1.0
+    return float((a == b).mean())

@@ -1,0 +1,60 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    ect-hub list
+    ect-hub run table2 [--scale 1.0] [--seed 0]
+    ect-hub run-all [--scale 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import available_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="ect-hub",
+        description="ECT-Hub reproduction: regenerate paper tables/figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=available_experiments())
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--seed", type=int, default=0)
+
+    all_p = sub.add_parser("run-all", help="run every experiment")
+    all_p.add_argument("--scale", type=float, default=1.0)
+    all_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+        print(result.rendered())
+        return 0
+    if args.command == "run-all":
+        for experiment_id in available_experiments():
+            result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+            print(result.rendered())
+            print()
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

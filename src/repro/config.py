@@ -1,0 +1,107 @@
+"""Config dataclass plumbing: validation hooks and dict round-tripping.
+
+Every subsystem defines a frozen dataclass config (battery, PV, hub, PPO, …).
+This module provides the shared machinery: recursive ``to_dict`` /
+``from_dict`` so scenarios can be serialized to JSON, and a ``validate``
+convention (``__post_init__`` calls ``self.validate()`` where defined) so a
+bad config fails at construction, not mid-simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+from pathlib import Path
+from typing import Any, Type, TypeVar
+
+from .errors import ConfigError
+
+C = TypeVar("C")
+
+
+def to_dict(config: Any) -> dict[str, Any]:
+    """Recursively convert a dataclass config to plain dict/list/scalars."""
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise ConfigError(f"expected a dataclass instance, got {type(config).__name__}")
+    return dataclasses.asdict(config)
+
+
+def from_dict(cls: Type[C], payload: dict[str, Any]) -> C:
+    """Instantiate dataclass ``cls`` from a dict, recursing into nested configs.
+
+    Unknown keys raise :class:`ConfigError` so typos in scenario files are
+    caught instead of silently ignored.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise ConfigError(f"{cls!r} is not a dataclass type")
+    if not isinstance(payload, dict):
+        raise ConfigError(f"expected a dict for {cls.__name__}, got {type(payload).__name__}")
+
+    field_map = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(payload) - set(field_map)
+    if unknown:
+        raise ConfigError(
+            f"unknown key(s) {sorted(unknown)} for {cls.__name__}; "
+            f"valid keys: {sorted(field_map)}"
+        )
+
+    # Resolve string annotations (PEP 563) so nested dataclasses round-trip.
+    try:
+        hints = typing.get_type_hints(cls)
+    except Exception:  # pragma: no cover - exotic forward references
+        hints = {}
+
+    kwargs: dict[str, Any] = {}
+    for name, value in payload.items():
+        field = field_map[name]
+        field_type = field.type if isinstance(field.type, type) else hints.get(name)
+        if typing.get_origin(field_type) is typing.Union:
+            # Optional[Config]: pick the dataclass member if present.
+            members = [
+                arg
+                for arg in typing.get_args(field_type)
+                if isinstance(arg, type) and dataclasses.is_dataclass(arg)
+            ]
+            field_type = members[0] if members else None
+        if (
+            isinstance(field_type, type)
+            and dataclasses.is_dataclass(field_type)
+            and isinstance(value, dict)
+        ):
+            kwargs[name] = from_dict(field_type, value)
+        elif isinstance(value, list):
+            kwargs[name] = tuple(value) if _wants_tuple(field) else list(value)
+        else:
+            kwargs[name] = value
+    return cls(**kwargs)
+
+
+def _wants_tuple(field: dataclasses.Field) -> bool:
+    """Heuristic: fields annotated or defaulted as tuples round-trip as tuples."""
+    if isinstance(field.default, tuple):
+        return True
+    type_repr = str(field.type)
+    return type_repr.startswith(("tuple", "Tuple", "typing.Tuple"))
+
+
+def save_json(config: Any, path: str | Path) -> None:
+    """Serialize a dataclass config to a JSON file."""
+    Path(path).write_text(json.dumps(to_dict(config), indent=2, sort_keys=True))
+
+
+def load_json(cls: Type[C], path: str | Path) -> C:
+    """Load a dataclass config from a JSON file written by :func:`save_json`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
+    return from_dict(cls, payload)
+
+
+def replace(config: C, **changes: Any) -> C:
+    """Typed wrapper over :func:`dataclasses.replace` for frozen configs."""
+    try:
+        return dataclasses.replace(config, **changes)
+    except TypeError as exc:
+        raise ConfigError(str(exc)) from exc

@@ -1,0 +1,60 @@
+"""``repro.energy`` — physical models of every hub component.
+
+Implements the paper's system model (§III-B): the base station (Eq. 1),
+the charging station (Eq. 2), the battery point (Eqs. 3–5), renewable
+plants (the ``P_WT``/``P_PV`` terms of Eq. 7), grid billing (Eq. 9), and
+the degradation process behind Fig. 4 and the ``c_BP`` cost.
+"""
+
+from .base_station import BaseStation, BaseStationCluster, BaseStationConfig
+from .battery import (
+    CHARGE,
+    DISCHARGE,
+    IDLE,
+    BatteryConfig,
+    BatteryPack,
+    BatteryStepResult,
+)
+from .charging_station import ChargingStation, ChargingStationConfig
+from .degradation import (
+    DegradationConfig,
+    capacity_fade,
+    cell_voltage,
+    operation_cost_per_slot,
+    simulate_voltage_traces,
+)
+from .grid import (
+    BlackoutConfig,
+    BlackoutModel,
+    GridConfig,
+    GridConnection,
+)
+from .pv import PvArray, PvConfig
+from .wind_turbine import WindTurbine, WindTurbineConfig
+
+__all__ = [
+    "CHARGE",
+    "DISCHARGE",
+    "IDLE",
+    "BaseStation",
+    "BaseStationCluster",
+    "BaseStationConfig",
+    "BatteryConfig",
+    "BatteryPack",
+    "BatteryStepResult",
+    "BlackoutConfig",
+    "BlackoutModel",
+    "ChargingStation",
+    "ChargingStationConfig",
+    "DegradationConfig",
+    "GridConfig",
+    "GridConnection",
+    "PvArray",
+    "PvConfig",
+    "WindTurbine",
+    "WindTurbineConfig",
+    "capacity_fade",
+    "cell_voltage",
+    "operation_cost_per_slot",
+    "simulate_voltage_traces",
+]

@@ -1,0 +1,130 @@
+"""Grid connection: RTP billing (Eq. 9) and blackout events (Eq. 6 context).
+
+The grid supplies whatever residual power the hub needs (Eq. 7) at the
+real-time price. Feeding power *back* is explicitly ruled out by the paper
+(§I: grid-integration fluctuations make feed-in uneconomical), so a
+negative residual is curtailed, never exported — attempting an export in
+strict mode raises :class:`~repro.errors.GridError`.
+
+Blackouts motivate the backup batteries: :class:`BlackoutModel` samples
+rare outage windows whose duration matches the paper's grid recovery time
+``T_r``; during an outage the grid supplies nothing and the battery's
+reserve band (Eq. 6) must carry the base station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, GridError
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Grid interconnection parameters.
+
+    Attributes
+    ----------
+    import_limit_kw:
+        Maximum simultaneous draw (0 disables the check).
+    allow_export:
+        Paper-false: surplus is curtailed. Kept as a flag so the no-feed-in
+        design decision is explicit and testable.
+    """
+
+    import_limit_kw: float = 0.0
+    allow_export: bool = False
+
+    def __post_init__(self) -> None:
+        if self.import_limit_kw < 0:
+            raise ConfigError("import_limit_kw must be non-negative")
+
+
+class GridConnection:
+    """Stateless billing and limit checks for grid imports."""
+
+    def __init__(self, config: GridConfig | None = None) -> None:
+        self.config = config or GridConfig()
+
+    def draw_power(self, residual_kw: float, *, strict: bool = False) -> float:
+        """Resolve a residual bus power into a grid import (``P_grid``).
+
+        Positive residual → import from the grid (capped by the import
+        limit). Negative residual → surplus; returns 0 (curtailment) unless
+        exports are enabled. ``strict`` raises on surplus instead, for
+        callers that must account for every kWh explicitly.
+        """
+        if residual_kw < 0:
+            if self.config.allow_export:
+                return float(residual_kw)
+            if strict:
+                raise GridError(
+                    f"surplus of {-residual_kw:.3f} kW cannot be exported "
+                    "(feed-in disabled per the paper)"
+                )
+            return 0.0
+        limit = self.config.import_limit_kw
+        if limit and residual_kw > limit:
+            raise GridError(
+                f"import of {residual_kw:.3f} kW exceeds the interconnection "
+                f"limit of {limit:.3f} kW"
+            )
+        return float(residual_kw)
+
+    def cost(self, power_kw: float, price_kwh: float, dt_h: float = 1.0) -> float:
+        """Eq. 9: ``C_grid = P_grid · RTP`` over one slot."""
+        if power_kw < 0:
+            raise GridError(f"grid cost requires non-negative power, got {power_kw}")
+        if price_kwh < 0:
+            raise GridError(f"price must be non-negative, got {price_kwh}")
+        if dt_h <= 0:
+            raise GridError(f"dt_h must be positive, got {dt_h}")
+        return power_kw * dt_h * price_kwh
+
+
+@dataclass(frozen=True)
+class BlackoutConfig:
+    """Outage process parameters.
+
+    Attributes
+    ----------
+    outage_probability_per_hour:
+        Per-slot probability an outage begins.
+    recovery_time_h:
+        The paper's ``T_r`` — expected grid recovery time; outage durations
+        are sampled uniformly in ``[1, 2·T_r − 1]`` so the mean is ``T_r``.
+    """
+
+    outage_probability_per_hour: float = 0.0005
+    recovery_time_h: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.outage_probability_per_hour <= 1.0:
+            raise ConfigError("outage_probability_per_hour must be in [0, 1]")
+        if self.recovery_time_h < 1:
+            raise ConfigError("recovery_time_h must be at least 1")
+
+
+class BlackoutModel:
+    """Samples outage masks over a horizon."""
+
+    def __init__(self, config: BlackoutConfig | None = None) -> None:
+        self.config = config or BlackoutConfig()
+
+    def sample_outages(self, n_hours: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean array: True where the grid is down."""
+        if n_hours < 0:
+            raise ConfigError(f"n_hours must be non-negative, got {n_hours}")
+        cfg = self.config
+        down = np.zeros(n_hours, dtype=bool)
+        t = 0
+        while t < n_hours:
+            if rng.random() < cfg.outage_probability_per_hour:
+                duration = int(rng.integers(1, 2 * cfg.recovery_time_h))
+                down[t : t + duration] = True
+                t += duration
+            else:
+                t += 1
+        return down

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ECT-Hub reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries. Subclasses mark which subsystem raised
+the error; messages carry enough context to debug without a traceback.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class UnitsError(ReproError):
+    """A quantity was supplied in the wrong unit or with an invalid value."""
+
+
+class DataError(ReproError):
+    """A synthetic dataset or trace is malformed or internally inconsistent."""
+
+
+class EnergyModelError(ReproError):
+    """A physical energy model was driven outside its valid envelope."""
+
+
+class BatteryError(EnergyModelError):
+    """Battery operated outside SoC / rate limits in strict mode."""
+
+
+class GridError(EnergyModelError):
+    """Grid interaction violated an operating rule (e.g. feed-in attempt)."""
+
+
+class HubError(ReproError):
+    """ECT-Hub composition or simulation failed an invariant."""
+
+
+class ConstraintViolation(HubError):
+    """A hard operating constraint (Eq. 5 / Eq. 6 of the paper) was violated."""
+
+
+class ModelError(ReproError):
+    """A learned model (NCF / CF-MTL / PPO) was misused or failed to fit."""
+
+
+class NotFittedError(ModelError):
+    """A model method requiring training was called before ``fit``."""
+
+
+class EnvError(ReproError):
+    """The RL environment was driven incorrectly (e.g. step before reset)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner failed or an unknown experiment id was requested."""

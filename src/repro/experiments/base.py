@@ -1,0 +1,46 @@
+"""Experiment plumbing: results, scaling, and text rendering.
+
+Every paper artifact (table or figure) has one runner returning an
+:class:`ExperimentResult`: machine-readable ``data`` plus human-readable
+``lines`` that the benches print. ``scale`` trades fidelity for runtime —
+1.0 is the bench default (laptop-CPU friendly); paper-scale settings are
+noted per runner in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment runner."""
+
+    experiment_id: str
+    title: str
+    data: dict[str, Any] = field(default_factory=dict)
+    lines: list[str] = field(default_factory=list)
+
+    def rendered(self) -> str:
+        """The human-readable report."""
+        header = f"== {self.experiment_id}: {self.title} =="
+        return "\n".join([header, *self.lines])
+
+
+def scaled(value: int, scale: float, *, minimum: int = 1) -> int:
+    """Scale an integer workload knob, clamped below by ``minimum``."""
+    if scale <= 0:
+        raise ExperimentError(f"scale must be positive, got {scale}")
+    return max(int(round(value * scale)), minimum)
+
+
+def series_line(name: str, values, *, per_line: int = 12, fmt: str = "{:.1f}") -> list[str]:
+    """Render a numeric series as labelled wrapped text lines."""
+    rendered = [fmt.format(float(v)) for v in values]
+    lines = [f"{name}:"]
+    for start in range(0, len(rendered), per_line):
+        lines.append("  " + " ".join(rendered[start : start + per_line]))
+    return lines

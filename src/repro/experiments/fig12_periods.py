@@ -1,0 +1,57 @@
+"""Fig. 12 — strata shares in the four six-hour periods."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timeutils import PERIOD_LABELS, PERIODS_6H
+from ..units import HOURS_PER_DAY
+from .base import ExperimentResult
+from .pricing_common import run_pricing_study
+
+#: The paper's pies, as (incentive, always, none) percentages per period.
+PAPER_SHARES = {
+    "00:00-06:00": (7.2, 35.0, 57.7),
+    "06:00-12:00": (6.0, 37.5, 56.5),
+    "12:00-18:00": (2.7, 40.5, 56.8),
+    "18:00-24:00": (41.4, 22.6, 36.0),
+}
+
+
+def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Predicted strata distribution per period over all test items."""
+    study = run_pricing_study(seed=seed, scale=scale)
+    probs = study.ect_price.predict_strata(
+        study.test.station_ids, study.test.time_ids
+    )
+    predicted = probs.argmax(axis=1)
+    hours = study.test.time_ids % HOURS_PER_DAY
+
+    shares: dict[str, tuple[float, float, float]] = {}
+    lines: list[str] = []
+    for (lo, hi), label in zip(PERIODS_6H, PERIOD_LABELS):
+        mask = (hours >= lo) & (hours < hi)
+        if not mask.any():
+            continue
+        chunk = predicted[mask]
+        inc = float((chunk == 1).mean() * 100)
+        alw = float((chunk == 2).mean() * 100)
+        none = float((chunk == 0).mean() * 100)
+        shares[label] = (inc, alw, none)
+        paper = PAPER_SHARES[label]
+        lines.append(
+            f"{label}: incentive {inc:5.1f}% always {alw:5.1f}% none {none:5.1f}%"
+            f"   (paper: {paper[0]}/{paper[1]}/{paper[2]})"
+        )
+    evening_inc = shares["18:00-24:00"][0]
+    other_inc = max(shares[l][0] for l in PERIOD_LABELS[:3])
+    lines.append(
+        "shape check: Incentive concentrates in 18:00-24:00 — "
+        + ("✓" if evening_inc > other_inc else "NOT reproduced")
+    )
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Strata distribution of four periods (Fig. 12)",
+        data={"shares": shares},
+        lines=lines,
+    )

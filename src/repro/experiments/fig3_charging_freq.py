@@ -1,0 +1,37 @@
+"""Fig. 3 — EV charging frequency by hour of day."""
+
+from __future__ import annotations
+
+from ..rng import RngFactory
+from ..synth.charging import ChargingBehaviorModel, ChargingConfig
+from .base import ExperimentResult, scaled, series_line
+
+
+def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Hourly session histogram over the fleet's multi-year log.
+
+    The paper's dataset covers 12 stations × 3 years with 70k+ records;
+    ``scale=1`` regenerates that exact volume.
+    """
+    factory = RngFactory(seed=seed)
+    behavior = ChargingBehaviorModel(ChargingConfig(), factory)
+    n_days = scaled(3 * 365, scale, minimum=30)
+    log = behavior.simulate_log(n_days)
+    counts = log.counts_by_hour()
+
+    ratio = counts.max() / max(counts.min(), 1)
+    lines = [
+        f"log: {n_days} days x {behavior.config.n_stations} stations, "
+        f"{len(log)} items, {log.n_sessions} charging sessions "
+        f"(paper: >70,000 records)",
+        *series_line("sessions per hour-of-day", counts, fmt="{:.0f}"),
+        f"peak/trough ratio: {ratio:.1f}x "
+        "(paper: significant usage variation across the day) "
+        + ("✓" if ratio > 2.0 else "NOT reproduced"),
+    ]
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Charging frequencies of electric vehicles (Fig. 3)",
+        data={"counts": counts.tolist(), "n_sessions": log.n_sessions},
+        lines=lines,
+    )

@@ -1,0 +1,55 @@
+"""Experiment registry: one entry per paper table/figure plus ablations."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+from . import (
+    ablations,
+    fig1_overlap,
+    fig2_renewables,
+    fig3_charging_freq,
+    fig4_degradation,
+    fig5_rtp_traffic,
+    fig11_strata,
+    fig12_periods,
+    fig13_hub_rewards,
+    table2_ect_price,
+    table3_hub_daily,
+)
+from .base import ExperimentResult
+
+#: Experiment id → runner. Keep in sync with DESIGN.md §4.
+RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig1_overlap.run,
+    "fig2": fig2_renewables.run,
+    "fig3": fig3_charging_freq.run,
+    "fig4": fig4_degradation.run,
+    "fig5": fig5_rtp_traffic.run,
+    "fig11": fig11_strata.run,
+    "fig12": fig12_periods.run,
+    "fig13": fig13_hub_rewards.run,
+    "table2": table2_ect_price.run,
+    "table3": table3_hub_daily.run,
+    "abl-sched": ablations.run_schedulers,
+    "abl-cbp": ablations.run_cbp_sweep,
+    "abl-loss": ablations.run_loss_forms,
+}
+
+
+def available_experiments() -> list[str]:
+    """All registered experiment ids."""
+    return sorted(RUNNERS)
+
+
+def run_experiment(
+    experiment_id: str, *, scale: float = 1.0, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    if experiment_id not in RUNNERS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(available_experiments())}"
+        )
+    return RUNNERS[experiment_id](scale=scale, seed=seed)

@@ -1,0 +1,228 @@
+"""Scenario assembly: from fleet descriptions to runnable simulations.
+
+A :class:`HubScenario` wires one :class:`~repro.synth.catalog.HubSite` to
+its generated exogenous traces (weather → PV/WT power, traffic → load rate,
+RTP) plus an Eq. 6-sized battery. Charging-station occupancy is *not* fixed
+here — it depends on the pricing method's discount decisions and the latent
+strata — so scenarios expose :meth:`inputs_with_occupancy` to close the
+loop, and :func:`resolve_occupancy` implements the strata semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import replace
+from ..errors import ConfigError, DataError
+from ..energy.base_station import BaseStationCluster, BaseStationConfig
+from ..energy.battery import BatteryConfig
+from ..energy.charging_station import ChargingStationConfig
+from ..energy.pv import PvArray, PvConfig
+from ..energy.wind_turbine import WindTurbine, WindTurbineConfig
+from ..rng import RngFactory
+from ..synth.catalog import HubSite, default_fleet
+from ..synth.charging import ChargingBehaviorModel, ChargingConfig, Stratum
+from ..synth.rtp import RtpConfig, RtpGenerator
+from ..synth.traffic import TrafficConfig, TrafficGenerator
+from ..synth.weather import WeatherConfig, WeatherGenerator
+from .constraints import sized_battery_config
+from .hub import EctHub, HubConfig
+from .simulation import HubInputs, HubSimulation
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs shared by every hub in a generated fleet scenario."""
+
+    n_hours: int = 24 * 30
+    recovery_time_h: int = 4
+    battery: BatteryConfig = field(default_factory=BatteryConfig)
+    base_station: BaseStationConfig = field(default_factory=BaseStationConfig)
+    charging_station: ChargingStationConfig = field(default_factory=ChargingStationConfig)
+    weather: WeatherConfig = field(default_factory=WeatherConfig)
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+    rtp: RtpConfig = field(default_factory=RtpConfig)
+    charging: ChargingConfig = field(default_factory=ChargingConfig)
+    c_bp_per_slot: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.n_hours <= 0:
+            raise ConfigError(f"n_hours must be positive, got {self.n_hours}")
+        if self.recovery_time_h < 0:
+            raise ConfigError("recovery_time_h must be non-negative")
+
+
+@dataclass
+class HubScenario:
+    """One hub plus all its exogenous traces, ready to simulate."""
+
+    site: HubSite
+    hub_config: HubConfig
+    load_rate: np.ndarray
+    rtp_kwh: np.ndarray
+    pv_power_kw: np.ndarray
+    wt_power_kw: np.ndarray
+    irradiance_w_m2: np.ndarray
+    wind_speed_m_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.load_rate)
+        for name in (
+            "rtp_kwh",
+            "pv_power_kw",
+            "wt_power_kw",
+            "irradiance_w_m2",
+            "wind_speed_m_s",
+        ):
+            if len(getattr(self, name)) != n:
+                raise DataError(f"scenario trace {name} has inconsistent length")
+
+    @property
+    def n_hours(self) -> int:
+        """Scenario horizon in slots."""
+        return len(self.load_rate)
+
+    def build_hub(self, *, initial_soc_fraction: float = 0.5) -> EctHub:
+        """A fresh hub instance for this scenario."""
+        return EctHub(self.hub_config, initial_soc_fraction=initial_soc_fraction)
+
+    def inputs_with_occupancy(
+        self,
+        occupied: np.ndarray,
+        discount: np.ndarray,
+        *,
+        outage: np.ndarray | None = None,
+    ) -> HubInputs:
+        """Full :class:`HubInputs` once occupancy/discounts are decided."""
+        return HubInputs(
+            load_rate=self.load_rate,
+            rtp_kwh=self.rtp_kwh,
+            pv_power_kw=self.pv_power_kw,
+            wt_power_kw=self.wt_power_kw,
+            occupied=np.asarray(occupied, dtype=int),
+            discount=np.asarray(discount, dtype=float),
+            outage=outage,
+        )
+
+    def simulation(
+        self,
+        occupied: np.ndarray,
+        discount: np.ndarray,
+        *,
+        initial_soc_fraction: float = 0.5,
+        outage: np.ndarray | None = None,
+    ) -> HubSimulation:
+        """Convenience: hub + inputs + engine in one call."""
+        return HubSimulation(
+            self.build_hub(initial_soc_fraction=initial_soc_fraction),
+            self.inputs_with_occupancy(occupied, discount, outage=outage),
+            initial_soc_fraction=initial_soc_fraction,
+        )
+
+
+def resolve_occupancy(strata: np.ndarray, discounted: np.ndarray) -> np.ndarray:
+    """Strata semantics → occupancy: Always ⇒ 1; Incentive ⇒ discounted; else 0."""
+    strata = np.asarray(strata, dtype=int)
+    discounted = np.asarray(discounted).astype(int)
+    if strata.shape != discounted.shape:
+        raise DataError(
+            f"strata shape {strata.shape} != discounted shape {discounted.shape}"
+        )
+    return np.where(
+        strata == Stratum.ALWAYS,
+        1,
+        np.where(strata == Stratum.INCENTIVE, discounted, 0),
+    ).astype(int)
+
+
+def build_scenario(
+    site: HubSite,
+    config: ScenarioConfig,
+    rng_factory: RngFactory,
+) -> HubScenario:
+    """Generate one hub's scenario: traces, plants, and a sized battery."""
+    stream = f"hub/{site.hub_id}"
+
+    weather_gen = WeatherGenerator(config.weather, rng_factory)
+    weather = weather_gen.generate(config.n_hours, stream=f"{stream}/weather")
+
+    traffic_cfg = replace(
+        config.traffic,
+        base_gb=config.traffic.base_gb * site.traffic_scale,
+        midday_peak_gb=config.traffic.midday_peak_gb * site.traffic_scale,
+        evening_peak_gb=config.traffic.evening_peak_gb * site.traffic_scale,
+    )
+    traffic = TrafficGenerator(traffic_cfg).generate(
+        config.n_hours, rng_factory.stream(f"{stream}/traffic")
+    )
+    prices = RtpGenerator(config.rtp).generate(
+        config.n_hours,
+        rng_factory.stream(f"{stream}/rtp"),
+        load_rate=traffic.load_rate,
+    )
+
+    pv_config = PvConfig(rated_kw=site.pv_kw) if site.pv_kw > 0 else None
+    wt_config = (
+        WindTurbineConfig(rated_kw=site.wt_kw) if site.wt_kw > 0 else None
+    )
+    pv_power = (
+        np.asarray(PvArray(pv_config).power_kw(weather.irradiance_w_m2))
+        if pv_config is not None
+        else np.zeros(config.n_hours)
+    )
+    wt_power = (
+        np.asarray(WindTurbine(wt_config).power_kw(weather.wind_speed_m_s))
+        if wt_config is not None
+        else np.zeros(config.n_hours)
+    )
+
+    cluster = BaseStationCluster(site.n_base_stations, config.base_station)
+    battery = sized_battery_config(
+        config.battery, cluster, config.recovery_time_h
+    )
+
+    hub_config = HubConfig(
+        battery=battery,
+        base_station=config.base_station,
+        n_base_stations=site.n_base_stations,
+        charging_station=config.charging_station,
+        pv=pv_config,
+        wind_turbine=wt_config,
+        c_bp_per_slot=config.c_bp_per_slot,
+    )
+    return HubScenario(
+        site=site,
+        hub_config=hub_config,
+        load_rate=traffic.load_rate,
+        rtp_kwh=prices.price_kwh,
+        pv_power_kw=pv_power,
+        wt_power_kw=wt_power,
+        irradiance_w_m2=weather.irradiance_w_m2,
+        wind_speed_m_s=weather.wind_speed_m_s,
+    )
+
+
+def build_fleet_scenarios(
+    config: ScenarioConfig,
+    rng_factory: RngFactory | None = None,
+    *,
+    n_hubs: int | None = None,
+) -> list[HubScenario]:
+    """Scenarios for the default fleet (paper: 12 hubs)."""
+    factory = rng_factory or RngFactory(seed=0)
+    sites = default_fleet(
+        n_hubs if n_hubs is not None else config.charging.n_stations,
+        rng_factory=factory,
+    )
+    return [build_scenario(site, config, factory) for site in sites]
+
+
+def fleet_behavior_model(
+    config: ScenarioConfig,
+    rng_factory: RngFactory | None = None,
+) -> ChargingBehaviorModel:
+    """The fleet-wide charging behaviour model matching the scenarios."""
+    factory = rng_factory or RngFactory(seed=0)
+    return ChargingBehaviorModel(config.charging, factory)

@@ -1,0 +1,568 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This is the neural substrate for the paper's learned components (the NCF
+base model, the CF-MTL ECT-Price model, and the PPO actor-critic): a small
+tape-based autograd engine in the style of micrograd/PyTorch, sufficient for
+MLPs with embeddings, softmax policies, and clipped-surrogate losses.
+
+Design notes
+------------
+* A :class:`Tensor` wraps an ``ndarray`` (always float64 unless the caller
+  passes another dtype) plus an optional gradient buffer.
+* Each op records a backward closure over its parents; ``backward()`` runs a
+  topological sort and accumulates gradients.
+* Broadcasting is supported in forward ops; backward passes reduce gradients
+  back to each parent's shape via :func:`_unbroadcast`.
+* No in-place mutation of ``data`` after an op has consumed it — optimizers
+  update parameters between backward passes, which is safe because the tape
+  is rebuilt each forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+
+ArrayLike = "np.ndarray | float | int | Sequence"
+
+#: Inputs to exp/sigmoid are clipped to this magnitude to avoid overflow.
+_EXP_CLIP = 60.0
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode gradient support.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar / nested sequence) holding the values.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+    ) -> None:
+        self.data = np.asarray(data, dtype=float)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents = _parents
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of array dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_flag})"
+
+    def item(self) -> float:
+        """The value of a single-element tensor as a python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise_not_scalar(self)
+
+    def numpy(self) -> np.ndarray:
+        """The raw ndarray (shared, do not mutate while a tape is alive)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A view of the same data cut off from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------ #
+    # Graph machinery                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient buffer."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        ``grad`` defaults to 1 for scalar outputs; non-scalar roots require
+        an explicit seed gradient of matching shape.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ModelError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=float)
+            if grad.shape != self.data.shape:
+                raise ModelError(
+                    f"seed gradient shape {grad.shape} != tensor shape {self.shape}"
+                )
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic                                                          #
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = ensure_tensor(other)
+        out = _make(self.data + other_t.data, (self, other_t))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad, other_t.data.shape))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = _make(-self.data, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-ensure_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return ensure_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = ensure_tensor(other)
+        out = _make(self.data * other_t.data, (self, other_t))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other_t.data, self.data.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad * self.data, other_t.data.shape))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = ensure_tensor(other)
+        out = _make(self.data / other_t.data, (self, other_t))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other_t.data, self.data.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(
+                    _unbroadcast(-grad * self.data / other_t.data**2, other_t.data.shape)
+                )
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return ensure_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise ModelError("only scalar exponents are supported in Tensor.__pow__")
+        out = _make(self.data**exponent, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = ensure_tensor(other)
+        out = _make(self.data @ other_t.data, (self, other_t))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other_t.data.ndim == 1:
+                    # matrix @ vector (grad 1-D) or vector @ vector (grad 0-D)
+                    self._accumulate(
+                        np.outer(grad, other_t.data) if grad.ndim else grad * other_t.data
+                    )
+                else:
+                    self._accumulate(grad @ other_t.data.T)
+            if other_t.requires_grad:
+                if self.data.ndim == 1:
+                    # vector @ matrix (grad 1-D) or vector @ vector (grad 0-D)
+                    other_t._accumulate(
+                        np.outer(self.data, grad) if grad.ndim else grad * self.data
+                    )
+                else:
+                    other_t._accumulate(self.data.T @ grad)
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Elementwise nonlinearities                                          #
+    # ------------------------------------------------------------------ #
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential (input clipped to ±60 for stability)."""
+        value = np.exp(np.clip(self.data, -_EXP_CLIP, _EXP_CLIP))
+        out = _make(value, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * value)
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def log(self) -> "Tensor":
+        """Elementwise natural log; inputs are floored at 1e-12."""
+        safe = np.maximum(self.data, 1e-12)
+        out = _make(np.log(safe), (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / safe)
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def relu(self) -> "Tensor":
+        """Rectified linear unit."""
+        mask = self.data > 0
+        out = _make(self.data * mask, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def tanh(self) -> "Tensor":
+        """Hyperbolic tangent."""
+        value = np.tanh(self.data)
+        out = _make(value, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - value**2))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        """Logistic sigmoid with overflow-safe evaluation."""
+        clipped = np.clip(self.data, -_EXP_CLIP, _EXP_CLIP)
+        value = 1.0 / (1.0 + np.exp(-clipped))
+        out = _make(value, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * value * (1.0 - value))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to [low, high]; gradient is 1 strictly inside."""
+        value = np.clip(self.data, low, high)
+        inside = (self.data > low) & (self.data < high)
+        out = _make(value, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * inside)
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions and shape ops                                            #
+    # ------------------------------------------------------------------ #
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when None)."""
+        out = _make(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis``."""
+        count = self.data.size if axis is None else _axis_size(self.data.shape, axis)
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape preserving the tape."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = _make(self.data.reshape(shape), (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
+        """Permute axes (reverse when ``axes`` is None)."""
+        out = _make(self.data.transpose(axes), (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            if axes is None:
+                self._accumulate(grad.transpose())
+            else:
+                inverse = np.argsort(axes)
+                self._accumulate(grad.transpose(inverse))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    @property
+    def T(self) -> "Tensor":  # noqa: N802 - numpy-style alias
+        """Transpose (2-D convenience alias)."""
+        return self.transpose()
+
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Select rows by integer index (embedding lookup).
+
+        ``indices`` is a 1-D integer array; output shape is
+        ``(len(indices),) + self.shape[1:]``. The backward pass scatter-adds.
+        """
+        idx = np.asarray(indices, dtype=int)
+        if idx.ndim != 1:
+            raise ModelError(f"gather_rows expects 1-D indices, got shape {idx.shape}")
+        out = _make(self.data[idx], (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                buffer = np.zeros_like(self.data)
+                np.add.at(buffer, idx, grad)
+                self._accumulate(buffer)
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def select_columns(self, indices: np.ndarray) -> "Tensor":
+        """Pick one column per row: ``out[i] = self[i, indices[i]]``.
+
+        Used to extract the log-probability of the taken action from a
+        ``(batch, n_actions)`` policy output. Returns shape ``(batch,)``.
+        """
+        idx = np.asarray(indices, dtype=int)
+        if self.data.ndim != 2 or idx.shape != (self.data.shape[0],):
+            raise ModelError(
+                "select_columns expects a 2-D tensor and per-row indices; got "
+                f"tensor {self.shape}, indices {idx.shape}"
+            )
+        rows = np.arange(self.data.shape[0])
+        out = _make(self.data[rows, idx], (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                buffer = np.zeros_like(self.data)
+                np.add.at(buffer, (rows, idx), grad)
+                self._accumulate(buffer)
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        value = shifted - log_norm
+        out = _make(value, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                softmax = np.exp(value)
+                self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Softmax along ``axis`` (computed as ``exp(log_softmax)``)."""
+        return self.log_softmax(axis=axis).exp()
+
+    def maximum(self, other: ArrayLike) -> "Tensor":
+        """Elementwise maximum; gradient follows the winning operand."""
+        other_t = ensure_tensor(other)
+        take_self = self.data >= other_t.data
+        out = _make(np.where(take_self, self.data, other_t.data), (self, other_t))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * take_self, self.data.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad * ~take_self, other_t.data.shape))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+    def minimum(self, other: ArrayLike) -> "Tensor":
+        """Elementwise minimum; gradient follows the winning operand."""
+        other_t = ensure_tensor(other)
+        take_self = self.data <= other_t.data
+        out = _make(np.where(take_self, self.data, other_t.data), (self, other_t))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * take_self, self.data.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad * ~take_self, other_t.data.shape))
+
+        out._backward = backward if out.requires_grad else None
+        return out
+
+
+def _raise_not_scalar(tensor: Tensor) -> float:
+    raise ModelError(f"item() requires a single-element tensor, got shape {tensor.shape}")
+
+
+def _axis_size(shape: tuple[int, ...], axis: int | tuple[int, ...]) -> int:
+    if isinstance(axis, tuple):
+        size = 1
+        for a in axis:
+            size *= shape[a]
+        return size
+    return shape[axis]
+
+
+def _make(data: np.ndarray, parents: tuple[Tensor, ...]) -> Tensor:
+    requires = any(p.requires_grad for p in parents)
+    return Tensor(data, requires_grad=requires, _parents=parents if requires else ())
+
+
+def ensure_tensor(value: ArrayLike | Tensor) -> Tensor:
+    """Wrap ``value`` in a constant :class:`Tensor` unless it already is one."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``, preserving gradients."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    if not tensors:
+        raise ModelError("concat requires at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = _make(data, tuple(tensors))
+
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+    out._backward = backward if out.requires_grad else None
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack equal-shaped tensors along a new axis."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    if not tensors:
+        raise ModelError("stack requires at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = _make(data, tuple(tensors))
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    out._backward = backward if out.requires_grad else None
+    return out
+
+
+def parameters_of(tensors: Iterable[Tensor]) -> list[Tensor]:
+    """Filter an iterable down to the tensors that require gradients."""
+    return [t for t in tensors if t.requires_grad]

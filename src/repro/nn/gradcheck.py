@@ -1,0 +1,67 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used heavily by the test suite: any differentiable scalar function of
+tensors can be verified against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from .autograd import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[], Tensor],
+    tensor: Tensor,
+    *,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        f_plus = fn().item()
+        flat[i] = original - eps
+        f_minus = fn().item()
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    *,
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert that autograd gradients of ``fn`` match finite differences.
+
+    ``fn`` must be a nullary callable re-evaluating the scalar loss from the
+    given tensors; it is called repeatedly while entries are perturbed.
+    Raises :class:`ModelError` on mismatch with a diagnostic message.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    loss = fn()
+    if loss.size != 1:
+        raise ModelError(f"check_gradients requires a scalar loss, got {loss.shape}")
+    loss.backward()
+
+    for index, tensor in enumerate(tensors):
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, tensor, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise ModelError(
+                f"gradient mismatch on tensor #{index} (shape {tensor.shape}): "
+                f"max abs diff {worst:.3e}\nanalytic:\n{analytic}\nnumeric:\n{numeric}"
+            )

@@ -1,0 +1,124 @@
+"""Module base class: parameter registration, train/eval mode, state dicts.
+
+Mirrors the familiar PyTorch contract at the scale this project needs:
+attributes that are :class:`~repro.nn.autograd.Tensor` with
+``requires_grad=True`` are parameters; attributes that are Modules (or lists
+of Modules) recurse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ModelError
+from .autograd import Tensor
+
+
+class Module:
+    """Base class for all neural network modules."""
+
+    def __init__(self) -> None:
+        self._training = True
+
+    # ------------------------------------------------------------------ #
+    # Parameter discovery                                                 #
+    # ------------------------------------------------------------------ #
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, value in vars(self).items():
+            if name.startswith("_"):
+                continue
+            path = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{path}.{index}.")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{path}.{index}", item
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable parameters of this module tree."""
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Train / eval mode                                                   #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def training(self) -> bool:
+        """Whether the module is in training mode (affects e.g. Dropout)."""
+        return self._training
+
+    def train(self) -> "Module":
+        """Switch this module tree to training mode."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module tree to inference mode."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self._training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    # ------------------------------------------------------------------ #
+    # State dict                                                          #
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters in-place; shapes and names must match exactly."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise ModelError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            incoming = np.asarray(state[name], dtype=float)
+            if incoming.shape != param.data.shape:
+                raise ModelError(
+                    f"shape mismatch for {name}: "
+                    f"expected {param.data.shape}, got {incoming.shape}"
+                )
+            param.data[...] = incoming
+
+    # ------------------------------------------------------------------ #
+    # Call protocol                                                       #
+    # ------------------------------------------------------------------ #
+
+    def forward(self, *args, **kwargs):
+        """Subclasses implement the computation here."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

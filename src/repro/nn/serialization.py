@@ -1,0 +1,33 @@
+"""Save / load module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ModelError
+from .module import Module
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Write a module's state dict to an ``.npz`` file."""
+    state = module.state_dict()
+    if not state:
+        raise ModelError("module has no parameters to save")
+    np.savez(Path(path), **state)
+
+
+def load_module(module: Module, path: str | Path) -> None:
+    """Load weights saved by :func:`save_module` into ``module`` in place."""
+    path = Path(path)
+    if not path.exists():
+        # np.savez appends .npz when missing; accept either spelling.
+        alt = path.with_suffix(path.suffix + ".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise ModelError(f"no weights file at {path}")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,53 @@
+"""``repro.rl`` — ECT-DRL: PPO battery scheduling plus baselines.
+
+Implements §IV-B of the paper: the Eq. 24 state, the 3-action battery
+environment (:mod:`.env`), the PPO learner with the Eq. 25 clipped
+surrogate (:mod:`.ppo`), rule-based scheduler baselines
+(:mod:`.schedulers`), and a clairvoyant DP oracle used by the ablations
+(:mod:`.dp_oracle`).
+"""
+
+from .buffer import RolloutBuffer
+from .dp_oracle import OracleResult, optimal_schedule
+from .env import ACTION_TO_SBP, N_ACTIONS, EctHubEnv, EnvConfig
+from .networks import ActorCritic
+from .ppo import PpoAgent, PpoConfig, UpdateStats
+from .schedulers import (
+    GreedyRenewableScheduler,
+    IdleScheduler,
+    RandomScheduler,
+    RuleBasedScheduler,
+    Scheduler,
+)
+from .spaces import Box, Discrete
+from .training import (
+    TrainingHistory,
+    evaluate_agent,
+    evaluate_scheduler,
+    train_ppo,
+)
+
+__all__ = [
+    "ACTION_TO_SBP",
+    "ActorCritic",
+    "Box",
+    "Discrete",
+    "EctHubEnv",
+    "EnvConfig",
+    "GreedyRenewableScheduler",
+    "IdleScheduler",
+    "N_ACTIONS",
+    "OracleResult",
+    "PpoAgent",
+    "PpoConfig",
+    "RandomScheduler",
+    "RolloutBuffer",
+    "RuleBasedScheduler",
+    "Scheduler",
+    "TrainingHistory",
+    "UpdateStats",
+    "evaluate_agent",
+    "evaluate_scheduler",
+    "optimal_schedule",
+    "train_ppo",
+]

@@ -1,0 +1,113 @@
+"""Rollout storage and Generalised Advantage Estimation for PPO."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+class RolloutBuffer:
+    """Fixed-capacity on-policy buffer.
+
+    Stores one or more episodes of (state, action, log-prob, value, reward,
+    done) tuples and computes GAE(λ) advantages and discounted returns used
+    by the PPO update (the ``Â_t`` of Eq. 25).
+    """
+
+    def __init__(self, capacity: int, state_dim: int) -> None:
+        if capacity <= 0 or state_dim <= 0:
+            raise ModelError("capacity and state_dim must be positive")
+        self.capacity = capacity
+        self.states = np.zeros((capacity, state_dim))
+        self.actions = np.zeros(capacity, dtype=int)
+        self.log_probs = np.zeros(capacity)
+        self.values = np.zeros(capacity)
+        self.rewards = np.zeros(capacity)
+        self.dones = np.zeros(capacity, dtype=bool)
+        self.advantages = np.zeros(capacity)
+        self.returns = np.zeros(capacity)
+        self._size = 0
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        """Whether the buffer has reached capacity."""
+        return self._size >= self.capacity
+
+    def add(
+        self,
+        state: np.ndarray,
+        action: int,
+        log_prob: float,
+        value: float,
+        reward: float,
+        done: bool,
+    ) -> None:
+        """Append one transition."""
+        if self.full:
+            raise ModelError(f"rollout buffer capacity {self.capacity} exceeded")
+        i = self._size
+        self.states[i] = state
+        self.actions[i] = action
+        self.log_probs[i] = log_prob
+        self.values[i] = value
+        self.rewards[i] = reward
+        self.dones[i] = done
+        self._size += 1
+        self._finalized = False
+
+    def compute_advantages(
+        self,
+        last_value: float,
+        *,
+        gamma: float = 0.99,
+        gae_lambda: float = 0.95,
+        normalize: bool = True,
+    ) -> None:
+        """GAE(λ) over the stored transitions.
+
+        ``last_value`` bootstraps the value beyond the final stored step
+        (0 when the final step terminated an episode).
+        """
+        if not 0.0 < gamma <= 1.0 or not 0.0 <= gae_lambda <= 1.0:
+            raise ModelError(f"invalid gamma/lambda: {gamma}, {gae_lambda}")
+        n = self._size
+        if n == 0:
+            raise ModelError("compute_advantages on an empty buffer")
+
+        gae = 0.0
+        for t in reversed(range(n)):
+            if t == n - 1:
+                next_value = 0.0 if self.dones[t] else last_value
+            else:
+                next_value = 0.0 if self.dones[t] else self.values[t + 1]
+            delta = self.rewards[t] + gamma * next_value - self.values[t]
+            gae = delta + gamma * gae_lambda * (0.0 if self.dones[t] else gae)
+            self.advantages[t] = gae
+        self.returns[:n] = self.advantages[:n] + self.values[:n]
+
+        if normalize and n > 1:
+            adv = self.advantages[:n]
+            self.advantages[:n] = (adv - adv.mean()) / (adv.std() + 1e-8)
+        self._finalized = True
+
+    def minibatches(
+        self, batch_size: int, rng: np.random.Generator
+    ):
+        """Yield shuffled index arrays over the stored transitions."""
+        if not self._finalized:
+            raise ModelError("call compute_advantages before minibatches")
+        if batch_size <= 0:
+            raise ModelError(f"batch_size must be positive, got {batch_size}")
+        order = rng.permutation(self._size)
+        for start in range(0, self._size, batch_size):
+            yield order[start : start + batch_size]
+
+    def clear(self) -> None:
+        """Reset for the next rollout."""
+        self._size = 0
+        self._finalized = False

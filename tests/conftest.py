@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import RngFactory
+
+
+@pytest.fixture()
+def factory() -> RngFactory:
+    """A seeded stream factory; every test gets the same root seed."""
+    return RngFactory(seed=1234)
+
+
+@pytest.fixture()
+def rng(factory: RngFactory) -> np.random.Generator:
+    """A generic random generator for ad-hoc sampling in tests."""
+    return factory.stream("test")

@@ -1,0 +1,191 @@
+"""Tests for units, timeutils, rng, and config plumbing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import config as config_mod
+from repro import timeutils, units
+from repro.errors import ConfigError, UnitsError
+from repro.rng import RngFactory
+
+
+class TestUnits:
+    def test_mwh_to_kwh_price(self):
+        assert units.mwh_price_to_kwh(120.0) == pytest.approx(0.12)
+
+    def test_kwh_to_mwh_roundtrip(self):
+        assert units.kwh_price_to_mwh(units.mwh_price_to_kwh(87.5)) == pytest.approx(87.5)
+
+    def test_watts_kw_roundtrip(self):
+        assert units.kw_to_watts(units.watts_to_kw(1500.0)) == pytest.approx(1500.0)
+
+    def test_energy_kwh(self):
+        assert units.energy_kwh(50.0, 0.5) == pytest.approx(25.0)
+
+    def test_energy_negative_power_allowed(self):
+        assert units.energy_kwh(-10.0, 2.0) == pytest.approx(-20.0)
+
+    def test_energy_negative_duration_rejected(self):
+        with pytest.raises(UnitsError):
+            units.energy_kwh(10.0, -1.0)
+
+    def test_require_positive_rejects_zero(self):
+        with pytest.raises(UnitsError):
+            units.require_positive("x", 0.0)
+
+    def test_require_positive_rejects_nan(self):
+        with pytest.raises(UnitsError):
+            units.require_positive("x", float("nan"))
+
+    def test_require_fraction_bounds(self):
+        assert units.require_fraction("f", 0.0) == 0.0
+        assert units.require_fraction("f", 1.0) == 1.0
+        with pytest.raises(UnitsError):
+            units.require_fraction("f", 1.01)
+
+    def test_require_fractions_array(self):
+        arr = units.require_fractions("fs", [0.1, 0.9])
+        assert arr.tolist() == [0.1, 0.9]
+        with pytest.raises(UnitsError):
+            units.require_fractions("fs", [0.1, -0.2])
+
+
+class TestSlotCalendar:
+    def test_hour_of_day_wraps(self):
+        cal = timeutils.SlotCalendar()
+        assert cal.hour_of_day(25) == 1
+        assert cal.hour_of_day(np.array([0, 24, 47])).tolist() == [0, 0, 23]
+
+    def test_day_index(self):
+        cal = timeutils.SlotCalendar()
+        assert cal.day_index(47) == 1
+
+    def test_day_of_year_wraps_year(self):
+        cal = timeutils.SlotCalendar(start_day_of_year=364)
+        assert cal.day_of_year(24) == 0
+
+    def test_day_of_week_and_weekend(self):
+        cal = timeutils.SlotCalendar(start_day_of_week=4)  # Friday
+        assert cal.day_of_week(0) == 4
+        assert not cal.is_weekend(0)
+        assert cal.is_weekend(24)  # Saturday
+
+    def test_period_6h(self):
+        cal = timeutils.SlotCalendar()
+        assert cal.period_6h(5) == 0
+        assert cal.period_6h(23) == 3
+
+    def test_invalid_start_day_rejected(self):
+        with pytest.raises(ConfigError):
+            timeutils.SlotCalendar(start_day_of_year=365)
+
+    def test_hours_helper(self):
+        assert timeutils.hours(3) == 72
+        with pytest.raises(ConfigError):
+            timeutils.hours(-1)
+
+    def test_diurnal_harmonic_peaks_at_peak_hour(self):
+        hours = np.arange(24)
+        values = timeutils.diurnal_harmonic(hours, peak_hour=15.0)
+        assert values.argmax() == 15
+        assert values.max() == pytest.approx(1.0)
+        assert values.min() >= 0.0
+
+    @given(peak=st.floats(0, 23.99), sharp=st.floats(0.5, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_diurnal_harmonic_bounded(self, peak, sharp):
+        values = timeutils.diurnal_harmonic(np.arange(24), peak, sharpness=sharp)
+        assert np.all(values >= 0.0) and np.all(values <= 1.0 + 1e-12)
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        f = RngFactory(seed=5)
+        a = f.stream("weather").normal(size=10)
+        b = f.stream("weather").normal(size=10)
+        assert np.allclose(a, b)
+
+    def test_different_names_differ(self):
+        f = RngFactory(seed=5)
+        a = f.stream("weather").normal(size=10)
+        b = f.stream("traffic").normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(seed=1).stream("x").normal(size=10)
+        b = RngFactory(seed=2).stream("x").normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_substreams_independent(self):
+        f = RngFactory(seed=5)
+        streams = list(f.substreams("hub", 3))
+        values = [s.normal(size=5) for s in streams]
+        assert not np.allclose(values[0], values[1])
+        assert not np.allclose(values[1], values[2])
+
+    def test_child_factory_disjoint(self):
+        f = RngFactory(seed=5)
+        child = f.child("pricing")
+        assert not np.allclose(
+            f.stream("x").normal(size=5), child.stream("x").normal(size=5)
+        )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            RngFactory(seed=0).stream("")
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ConfigError):
+            RngFactory(seed="abc")  # type: ignore[arg-type]
+
+
+@dataclasses.dataclass(frozen=True)
+class _Inner:
+    value: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class _Outer:
+    name: str = "x"
+    inner: _Inner = dataclasses.field(default_factory=_Inner)
+    sizes: tuple = (1, 2)
+
+
+class TestConfigPlumbing:
+    def test_round_trip(self):
+        outer = _Outer(name="hub", inner=_Inner(value=2.5), sizes=(3, 4))
+        payload = config_mod.to_dict(outer)
+        restored = config_mod.from_dict(_Outer, payload)
+        assert restored == outer
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            config_mod.from_dict(_Outer, {"nope": 1})
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(ConfigError):
+            config_mod.to_dict(42)
+
+    def test_json_round_trip(self, tmp_path):
+        outer = _Outer(name="io")
+        path = tmp_path / "cfg.json"
+        config_mod.save_json(outer, path)
+        assert config_mod.load_json(_Outer, path) == outer
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError):
+            config_mod.load_json(_Outer, path)
+
+    def test_replace(self):
+        outer = _Outer()
+        assert config_mod.replace(outer, name="y").name == "y"
+        with pytest.raises(ConfigError):
+            config_mod.replace(outer, bogus=1)

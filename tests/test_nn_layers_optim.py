@@ -1,0 +1,213 @@
+"""Tests for layers, losses, optimizers, module plumbing, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ModelError
+
+
+class TestLayers:
+    def test_linear_shapes(self, rng):
+        layer = nn.Linear(4, 3, rng)
+        out = layer(nn.Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_invalid_dims(self, rng):
+        with pytest.raises(ModelError):
+            nn.Linear(0, 3, rng)
+
+    def test_embedding_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng)
+        out = emb(np.array([1, 1, 9]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.numpy()[0], out.numpy()[1])
+
+    def test_embedding_out_of_range(self, rng):
+        emb = nn.Embedding(10, 4, rng)
+        with pytest.raises(ModelError):
+            emb(np.array([10]))
+
+    def test_dropout_eval_identity(self, rng):
+        drop = nn.Dropout(0.5, rng)
+        drop.eval()
+        x = nn.Tensor(rng.normal(size=(4, 4)))
+        assert np.allclose(drop(x).numpy(), x.numpy())
+
+    def test_dropout_train_masks(self, rng):
+        drop = nn.Dropout(0.5, rng)
+        x = nn.Tensor(np.ones((100, 10)))
+        out = drop(x).numpy()
+        assert (out == 0).any()
+        assert out.mean() == pytest.approx(1.0, abs=0.25)
+
+    def test_mlp_structure_and_forward(self, rng):
+        mlp = nn.MLP((3, 8, 2), rng)
+        out = mlp(nn.Tensor(rng.normal(size=(5, 3))))
+        assert out.shape == (5, 2)
+
+    def test_mlp_needs_two_sizes(self, rng):
+        with pytest.raises(ModelError):
+            nn.MLP((3,), rng)
+
+    def test_sequential_indexing(self, rng):
+        seq = nn.Sequential(nn.Linear(2, 2, rng), nn.ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], nn.ReLU)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = nn.Tensor(np.array([1.0, 2.0]))
+        target = nn.Tensor(np.array([0.0, 0.0]))
+        assert nn.mse_loss(pred, target).item() == pytest.approx(2.5)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            nn.mse_loss(nn.Tensor(np.zeros(2)), nn.Tensor(np.zeros(3)))
+
+    def test_bce_matches_manual(self, rng):
+        p = np.array([0.3, 0.8])
+        y = np.array([1.0, 0.0])
+        expected = -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+        got = nn.bce_loss(nn.Tensor(p), nn.Tensor(y)).item()
+        assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_bce_with_logits_matches_bce(self, rng):
+        logits = rng.normal(size=(6,))
+        y = (rng.random(6) > 0.5).astype(float)
+        via_logits = nn.bce_with_logits(nn.Tensor(logits), nn.Tensor(y)).item()
+        probs = 1 / (1 + np.exp(-logits))
+        via_probs = nn.bce_loss(nn.Tensor(probs), nn.Tensor(y)).item()
+        assert via_logits == pytest.approx(via_probs, rel=1e-5)
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = nn.Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        ids = np.array([0, 2, 1, 1])
+        nn.check_gradients(lambda: nn.cross_entropy(logits, ids), [logits])
+
+    def test_entropy_of_uniform_logits(self):
+        logits = nn.Tensor(np.zeros((2, 4)))
+        assert nn.entropy_of_logits(logits).item() == pytest.approx(np.log(4))
+
+
+class TestOptimizers:
+    def _quadratic_problem(self, opt_cls, rng, **kwargs):
+        target = np.array([3.0, -2.0])
+        w = nn.Tensor(np.zeros(2), requires_grad=True)
+        opt = opt_cls([w], **kwargs)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = ((w - nn.Tensor(target)) ** 2).sum()
+            loss.backward()
+            opt.step()
+        return w.numpy(), target
+
+    def test_sgd_converges(self, rng):
+        w, target = self._quadratic_problem(nn.SGD, rng, lr=0.05)
+        assert np.allclose(w, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self, rng):
+        w, target = self._quadratic_problem(nn.SGD, rng, lr=0.02, momentum=0.9)
+        assert np.allclose(w, target, atol=1e-3)
+
+    def test_adam_converges(self, rng):
+        w, target = self._quadratic_problem(nn.Adam, rng, lr=0.1)
+        assert np.allclose(w, target, atol=1e-2)
+
+    def test_adamw_decay_shrinks_weights(self, rng):
+        w = nn.Tensor(np.ones(3) * 5.0, requires_grad=True)
+        opt = nn.AdamW([w], lr=0.01, weight_decay=0.5)
+        for _ in range(50):
+            opt.zero_grad()
+            (w.sum() * 0.0).backward()
+            opt.step()
+        assert np.all(np.abs(w.numpy()) < 5.0)
+
+    def test_optimizer_rejects_empty(self):
+        with pytest.raises(ModelError):
+            nn.Adam([], lr=0.1)
+
+    def test_optimizer_rejects_bad_lr(self, rng):
+        w = nn.Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ModelError):
+            nn.SGD([w], lr=0.0)
+
+    def test_clip_grad_norm(self, rng):
+        w = nn.Tensor(np.ones(4), requires_grad=True)
+        (w.sum() * 100.0).backward()
+        norm = nn.clip_grad_norm([w], max_norm=1.0)
+        assert norm == pytest.approx(200.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestModuleAndSerialization:
+    def test_named_parameters_nested(self, rng):
+        mlp = nn.MLP((2, 4, 1), rng)
+        names = [name for name, _ in mlp.named_parameters()]
+        assert len(names) == len(set(names)) == 4  # 2 layers x (W, b)
+
+    def test_num_parameters(self, rng):
+        mlp = nn.MLP((2, 4, 1), rng)
+        assert mlp.num_parameters() == 2 * 4 + 4 + 4 * 1 + 1
+
+    def test_train_eval_propagates(self, rng):
+        seq = nn.Sequential(nn.Dropout(0.5, rng), nn.Linear(2, 2, rng))
+        seq.eval()
+        assert not seq[0].training
+        seq.train()
+        assert seq[0].training
+
+    def test_state_dict_round_trip(self, rng):
+        a = nn.MLP((3, 5, 2), rng)
+        b = nn.MLP((3, 5, 2), np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert np.allclose(a(nn.Tensor(x)).numpy(), b(nn.Tensor(x)).numpy())
+
+    def test_load_state_dict_validates_names(self, rng):
+        a = nn.MLP((3, 5, 2), rng)
+        state = a.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(ModelError):
+            a.load_state_dict(state)
+
+    def test_load_state_dict_validates_shapes(self, rng):
+        a = nn.MLP((3, 5, 2), rng)
+        state = a.state_dict()
+        first = next(iter(state))
+        state[first] = np.zeros((1, 1))
+        with pytest.raises(ModelError):
+            a.load_state_dict(state)
+
+    def test_save_load_module(self, rng, tmp_path):
+        a = nn.MLP((3, 4, 1), rng)
+        path = tmp_path / "weights.npz"
+        nn.save_module(a, path)
+        b = nn.MLP((3, 4, 1), np.random.default_rng(7))
+        nn.load_module(b, path)
+        x = np.random.default_rng(1).normal(size=(2, 3))
+        assert np.allclose(a(nn.Tensor(x)).numpy(), b(nn.Tensor(x)).numpy())
+
+    def test_load_missing_file_raises(self, rng, tmp_path):
+        with pytest.raises(ModelError):
+            nn.load_module(nn.MLP((2, 2), rng), tmp_path / "nope.npz")
+
+    def test_xor_training_end_to_end(self, rng):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], float)
+        y = np.array([[0], [1], [1], [0]], float)
+        net = nn.MLP((2, 16, 1), rng)
+        opt = nn.Adam(net.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            loss = nn.mse_loss(net(nn.Tensor(X)).sigmoid(), nn.Tensor(y))
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.01
