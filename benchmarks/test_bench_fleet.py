@@ -1,0 +1,71 @@
+"""Benchmark: batched fleet engine vs the per-hub Python loop.
+
+Simulates the same 100-hub scenario set under the rule-based scheduler
+twice — once through :class:`repro.fleet.FleetSimulation` (one vectorized
+step per slot) and once as 100 independent
+:class:`~repro.hub.simulation.HubSimulation` runs — and reports throughput
+in hub-slots/sec. The report is persisted to ``reports/fleet.txt`` so the
+perf trajectory is tracked across PRs; the acceptance floor for this PR is
+a ≥5× batched speedup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.fleet import FleetRuleBasedScheduler, build_default_fleet
+from repro.hub.simulation import HubSimulation
+from repro.rl.schedulers import RuleBasedScheduler
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+#: Fleet size pinned by the acceptance criterion; horizon scales instead.
+N_HUBS = 100
+
+
+def test_bench_fleet_throughput():
+    scale = float(os.environ.get("ECT_BENCH_SCALE", 1.0))
+    n_days = max(int(round(14 * scale)), 2)
+    scenarios, sim = build_default_fleet(
+        N_HUBS, n_days=n_days, seed=0, outage_probability=0.001
+    )
+    hub_slots = N_HUBS * sim.horizon
+
+    start = time.perf_counter()
+    batched_book = sim.run(FleetRuleBasedScheduler())
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    looped_profit = 0.0
+    for index, scenario in enumerate(scenarios):
+        one = HubSimulation(scenario.build_hub(), sim.inputs.hub(index))
+        one.run(RuleBasedScheduler())
+        looped_profit += one.book.profit
+    looped_s = time.perf_counter() - start
+
+    batched_rate = hub_slots / batched_s
+    looped_rate = hub_slots / looped_s
+    speedup = batched_rate / looped_rate
+
+    report = "\n".join(
+        [
+            "== fleet: batched vs looped throughput ==",
+            f"workload: {N_HUBS} hubs x {sim.horizon} slots "
+            f"({hub_slots} hub-slots), rule-based scheduler",
+            f"batched   {batched_rate:>12,.0f} hub-slots/sec  ({batched_s:.3f}s)",
+            f"looped    {looped_rate:>12,.0f} hub-slots/sec  ({looped_s:.3f}s)",
+            f"speedup   {speedup:>12.1f}x",
+            f"network profit agreement: batched ${batched_book.profit:,.1f} "
+            f"vs looped ${looped_profit:,.1f}",
+        ]
+    )
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "fleet.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    # The engines must agree (the real equivalence suite lives in tests/).
+    assert abs(batched_book.profit - looped_profit) < 1e-6
+    # Acceptance floor: the batched engine is at least 5x the Python loop.
+    assert speedup >= 5.0, report

@@ -15,6 +15,9 @@ Subpackages
     stations, charging stations, grid connection.
 ``repro.hub``
     The ECT-Hub composition, power balance, cost model, and simulator.
+``repro.fleet``
+    Vectorized fleet engine: batch-step N hubs per slot (struct-of-arrays
+    state), numerically equivalent to N independent hub simulations.
 ``repro.causal``
     ECT-Price (CF-MTL causal pricing) and the OR/IPS/DR uplift baselines.
 ``repro.rl``

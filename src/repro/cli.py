@@ -3,8 +3,12 @@
 Usage::
 
     ect-hub list
-    ect-hub run table2 [--scale 1.0] [--seed 0]
-    ect-hub run-all [--scale 0.5]
+    ect-hub run table2 [--scale 1.0] [--seed 0] [--out results.json]
+    ect-hub run-all [--scale 0.5] [--out results.json]
+    ect-hub fleet --n-hubs 200 [--days 14] [--scheduler rule-based]
+
+``--out PATH`` persists the experiment ``data`` dicts as JSON so results
+can be diffed across runs and PRs.
 """
 
 from __future__ import annotations
@@ -12,7 +16,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .errors import ReproError
 from .experiments import available_experiments, run_experiment
+from .experiments.base import write_results_json
+from .experiments.fleet_sim import run as run_fleet
+from .fleet.schedulers import FLEET_SCHEDULERS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,16 +37,38 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("experiment", choices=available_experiments())
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--out", type=str, default=None, help="write data as JSON")
 
     all_p = sub.add_parser("run-all", help="run every experiment")
     all_p.add_argument("--scale", type=float, default=1.0)
     all_p.add_argument("--seed", type=int, default=0)
+    all_p.add_argument("--out", type=str, default=None, help="write data as JSON")
+
+    fleet_p = sub.add_parser(
+        "fleet", help="batch-simulate an N-hub fleet (vectorized engine)"
+    )
+    fleet_p.add_argument("--n-hubs", type=int, default=None)
+    fleet_p.add_argument("--days", type=int, default=None)
+    fleet_p.add_argument(
+        "--scheduler", choices=sorted(FLEET_SCHEDULERS), default="rule-based"
+    )
+    fleet_p.add_argument("--scale", type=float, default=1.0)
+    fleet_p.add_argument("--seed", type=int, default=0)
+    fleet_p.add_argument("--out", type=str, default=None, help="write data as JSON")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"ect-hub {args.command}: error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         for experiment_id in available_experiments():
             print(experiment_id)
@@ -46,12 +76,30 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
         print(result.rendered())
+        if args.out:
+            print(f"wrote {write_results_json(result, args.out)}")
         return 0
     if args.command == "run-all":
+        results = []
         for experiment_id in available_experiments():
             result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+            results.append(result)
             print(result.rendered())
             print()
+        if args.out:
+            print(f"wrote {write_results_json(results, args.out)}")
+        return 0
+    if args.command == "fleet":
+        result = run_fleet(
+            scale=args.scale,
+            seed=args.seed,
+            n_hubs=args.n_hubs,
+            days=args.days,
+            scheduler=args.scheduler,
+        )
+        print(result.rendered())
+        if args.out:
+            print(f"wrote {write_results_json(result, args.out)}")
         return 0
     return 2
 

@@ -58,3 +58,7 @@ class EnvError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner failed or an unknown experiment id was requested."""
+
+
+class FleetError(ReproError):
+    """The batched fleet engine was misconfigured or driven incorrectly."""

@@ -9,10 +9,31 @@ noted per runner in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from ..errors import ExperimentError
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert experiment ``data`` into JSON-serialisable types.
+
+    NumPy arrays become lists, NumPy scalars become Python scalars; dict
+    keys are stringified so e.g. hub-id keys survive the round trip.
+    """
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return jsonable(value.tolist())
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        return value.item()
+    return value
 
 
 @dataclass
@@ -28,6 +49,33 @@ class ExperimentResult:
         """The human-readable report."""
         header = f"== {self.experiment_id}: {self.title} =="
         return "\n".join([header, *self.lines])
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Machine-readable form: id, title, and JSON-safe ``data``."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "data": jsonable(self.data),
+        }
+
+
+def write_results_json(
+    results: "ExperimentResult | list[ExperimentResult]", path: str | Path
+) -> Path:
+    """Persist one or many experiment results as pretty-printed JSON.
+
+    A single result is written as one object; a list as an array. This is
+    the ``--out`` backend of the CLI, so experiment ``data`` can be diffed
+    across PRs.
+    """
+    path = Path(path)
+    if isinstance(results, ExperimentResult):
+        payload: Any = results.to_json_dict()
+    else:
+        payload = [result.to_json_dict() for result in results]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def scaled(value: int, scale: float, *, minimum: int = 1) -> int:

@@ -1,0 +1,178 @@
+"""Fleet-level Eq. 8–12 accounting over ``(n_hubs, horizon)`` arrays.
+
+:class:`FleetCostBook` is the batched counterpart of
+:class:`~repro.hub.costs.CostBook`: it stores every resolved slot quantity
+column-wise, exposes the paper's aggregates both **per hub** (arrays) and
+for the whole **network** (scalars), and can reconstruct any single hub's
+:class:`~repro.hub.costs.CostBook` of :class:`~repro.hub.costs.SlotLedger`
+rows for interop with scalar-engine tooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FleetError
+from ..hub.costs import CostBook, SlotLedger
+
+
+class FleetCostBook:
+    """Slot-by-slot records for a whole fleet, filled as the engine steps."""
+
+    _FLOAT_COLUMNS = (
+        "p_bs_kw",
+        "p_cs_kw",
+        "p_bp_kw",
+        "p_pv_kw",
+        "p_wt_kw",
+        "p_grid_kw",
+        "surplus_kw",
+        "rtp_kwh",
+        "srtp_kwh",
+        "soc_kwh",
+        "grid_cost",
+        "bp_cost",
+        "revenue",
+        "unserved_kwh",
+    )
+
+    def __init__(self, n_hubs: int, horizon: int) -> None:
+        if n_hubs <= 0 or horizon < 0:
+            raise FleetError(
+                f"invalid fleet book shape ({n_hubs} hubs, {horizon} slots)"
+            )
+        self.n_hubs = n_hubs
+        self.horizon = horizon
+        self.action = np.zeros((n_hubs, horizon), dtype=int)
+        self.blackout = np.zeros((n_hubs, horizon), dtype=bool)
+        for name in self._FLOAT_COLUMNS:
+            setattr(self, name, np.zeros((n_hubs, horizon)))
+        self._n_recorded = 0
+
+    def __len__(self) -> int:
+        return self._n_recorded
+
+    @property
+    def n_recorded(self) -> int:
+        """Number of slots recorded so far."""
+        return self._n_recorded
+
+    def record(self, t: int, **columns: np.ndarray) -> None:
+        """Store one resolved slot (arrays of shape ``(n_hubs,)``)."""
+        if t != self._n_recorded:
+            raise FleetError(
+                f"slots must be recorded in order; expected {self._n_recorded}, got {t}"
+            )
+        if t >= self.horizon:
+            raise FleetError(f"slot {t} beyond book horizon {self.horizon}")
+        for name, values in columns.items():
+            getattr(self, name)[:, t] = values
+        self._n_recorded += 1
+
+    # ------------------------------------------------------------------ #
+    # Per-hub aggregates (arrays of shape (n_hubs,))                       #
+    # ------------------------------------------------------------------ #
+
+    def _recorded(self, name: str) -> np.ndarray:
+        return getattr(self, name)[:, : self._n_recorded]
+
+    @property
+    def operating_cost_per_hub(self) -> np.ndarray:
+        """Eq. 10 per hub: ``OC_i = Σ_t [C_grid + C_BP]``."""
+        return (self._recorded("grid_cost") + self._recorded("bp_cost")).sum(axis=1)
+
+    @property
+    def charging_revenue_per_hub(self) -> np.ndarray:
+        """Eq. 11 per hub: ``CR_i = Σ_t P_CS · SRTP``."""
+        return self._recorded("revenue").sum(axis=1)
+
+    @property
+    def profit_per_hub(self) -> np.ndarray:
+        """Eq. 12 per hub: ``Ψ_i = CR_i − OC_i``."""
+        return self.charging_revenue_per_hub - self.operating_cost_per_hub
+
+    @property
+    def grid_energy_per_hub_kwh(self) -> np.ndarray:
+        """Imported energy per hub (uniform 1 h slots, like the scalar book)."""
+        return self._recorded("p_grid_kw").sum(axis=1)
+
+    @property
+    def curtailed_per_hub_kwh(self) -> np.ndarray:
+        """Curtailed renewable energy per hub."""
+        return self._recorded("surplus_kw").sum(axis=1)
+
+    @property
+    def unserved_per_hub_kwh(self) -> np.ndarray:
+        """Blackout BS energy that could not be served, per hub."""
+        return self._recorded("unserved_kwh").sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Network totals                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def operating_cost(self) -> float:
+        """Network Eq. 10 total."""
+        return float(self.operating_cost_per_hub.sum())
+
+    @property
+    def charging_revenue(self) -> float:
+        """Network Eq. 11 total."""
+        return float(self.charging_revenue_per_hub.sum())
+
+    @property
+    def profit(self) -> float:
+        """Network Eq. 12 total."""
+        return float(self.profit_per_hub.sum())
+
+    @property
+    def total_unserved_kwh(self) -> float:
+        """Network blackout energy shortfall."""
+        return float(self.unserved_per_hub_kwh.sum())
+
+    def daily_rewards(self, slots_per_day: int = 24) -> np.ndarray:
+        """Eq. 12 profit per (hub, day) — shape ``(n_hubs, n_days)``."""
+        if slots_per_day <= 0:
+            raise FleetError(f"slots_per_day must be positive, got {slots_per_day}")
+        rewards = (
+            self._recorded("revenue")
+            - self._recorded("grid_cost")
+            - self._recorded("bp_cost")
+        )
+        if rewards.shape[1] == 0:
+            return np.zeros((self.n_hubs, 0))
+        starts = np.arange(0, rewards.shape[1], slots_per_day)
+        return np.add.reduceat(rewards, starts, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Scalar-engine interop                                                #
+    # ------------------------------------------------------------------ #
+
+    def hub_book(self, index: int) -> CostBook:
+        """Reconstruct one hub's scalar :class:`CostBook` from the columns."""
+        if not 0 <= index < self.n_hubs:
+            raise FleetError(f"hub index {index} out of range for {self.n_hubs} hubs")
+        book = CostBook()
+        for t in range(self._n_recorded):
+            book.add(
+                SlotLedger(
+                    slot=t,
+                    action=int(self.action[index, t]),
+                    p_bs_kw=float(self.p_bs_kw[index, t]),
+                    p_cs_kw=float(self.p_cs_kw[index, t]),
+                    p_bp_kw=float(self.p_bp_kw[index, t]),
+                    p_pv_kw=float(self.p_pv_kw[index, t]),
+                    p_wt_kw=float(self.p_wt_kw[index, t]),
+                    p_grid_kw=float(self.p_grid_kw[index, t]),
+                    surplus_kw=float(self.surplus_kw[index, t]),
+                    rtp_kwh=float(self.rtp_kwh[index, t]),
+                    srtp_kwh=float(self.srtp_kwh[index, t]),
+                    soc_kwh=float(self.soc_kwh[index, t]),
+                    grid_cost=float(self.grid_cost[index, t]),
+                    bp_cost=float(self.bp_cost[index, t]),
+                    revenue=float(self.revenue[index, t]),
+                    blackout=bool(self.blackout[index, t]),
+                    unserved_kwh=float(self.unserved_kwh[index, t]),
+                )
+            )
+        return book

@@ -1,0 +1,131 @@
+"""Stacked exogenous traces: ``(n_hubs, horizon)`` struct-of-arrays inputs.
+
+:class:`FleetInputs` is the batched counterpart of
+:class:`~repro.hub.simulation.HubInputs`: one row per hub, one column per
+slot, validated by the same :func:`~repro.hub.simulation.
+validate_exogenous_traces` checks (including NaN/inf rejection). Rows can
+be re-extracted as plain :class:`HubInputs` for interop with the scalar
+engine — the equivalence tests lean on that round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import FleetError
+from ..hub.simulation import HubInputs, validate_exogenous_traces
+
+_TRACE_NAMES = (
+    "load_rate",
+    "rtp_kwh",
+    "pv_power_kw",
+    "wt_power_kw",
+    "occupied",
+    "discount",
+)
+
+
+@dataclass(frozen=True)
+class FleetInputs:
+    """Exogenous traces for a whole fleet, all shaped ``(n_hubs, horizon)``.
+
+    ``outage`` is optional like the scalar engine's mask; ``None`` means no
+    blackout anywhere.
+    """
+
+    load_rate: np.ndarray
+    rtp_kwh: np.ndarray
+    pv_power_kw: np.ndarray
+    wt_power_kw: np.ndarray
+    occupied: np.ndarray
+    discount: np.ndarray
+    outage: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        shape = np.asarray(self.load_rate).shape
+        if len(shape) != 2:
+            raise FleetError(
+                f"fleet traces must be 2-D (n_hubs, horizon), got shape {shape}"
+            )
+        for name in _TRACE_NAMES[1:]:
+            if np.asarray(getattr(self, name)).shape != shape:
+                raise FleetError(f"fleet trace {name} has inconsistent shape")
+        if self.outage is not None and np.asarray(self.outage).shape != shape:
+            raise FleetError("fleet outage mask has inconsistent shape")
+        validate_exogenous_traces(
+            load_rate=self.load_rate,
+            rtp_kwh=self.rtp_kwh,
+            pv_power_kw=self.pv_power_kw,
+            wt_power_kw=self.wt_power_kw,
+            occupied=self.occupied,
+            discount=self.discount,
+            context="fleet input",
+        )
+
+    @property
+    def n_hubs(self) -> int:
+        """Number of hub rows."""
+        return int(self.load_rate.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Number of slots per hub."""
+        return int(self.load_rate.shape[1])
+
+    def outage_mask(self) -> np.ndarray:
+        """Boolean ``(n_hubs, horizon)`` blackout mask (all-False when None)."""
+        if self.outage is None:
+            return np.zeros((self.n_hubs, self.horizon), dtype=bool)
+        return np.asarray(self.outage, dtype=bool)
+
+    @classmethod
+    def from_hub_inputs(cls, inputs: Sequence[HubInputs]) -> "FleetInputs":
+        """Stack per-hub :class:`HubInputs` rows into one fleet block."""
+        if not inputs:
+            raise FleetError("a fleet needs at least one HubInputs row")
+        horizons = {len(one) for one in inputs}
+        if len(horizons) != 1:
+            raise FleetError(
+                f"all hubs must share one horizon, got lengths {sorted(horizons)}"
+            )
+        horizon = horizons.pop()
+        outage: np.ndarray | None = None
+        if any(one.outage is not None for one in inputs):
+            outage = np.stack(
+                [
+                    np.zeros(horizon, dtype=bool)
+                    if one.outage is None
+                    else np.asarray(one.outage, dtype=bool)
+                    for one in inputs
+                ]
+            )
+        return cls(
+            load_rate=np.stack([np.asarray(one.load_rate, dtype=float) for one in inputs]),
+            rtp_kwh=np.stack([np.asarray(one.rtp_kwh, dtype=float) for one in inputs]),
+            pv_power_kw=np.stack(
+                [np.asarray(one.pv_power_kw, dtype=float) for one in inputs]
+            ),
+            wt_power_kw=np.stack(
+                [np.asarray(one.wt_power_kw, dtype=float) for one in inputs]
+            ),
+            occupied=np.stack([np.asarray(one.occupied, dtype=int) for one in inputs]),
+            discount=np.stack([np.asarray(one.discount, dtype=float) for one in inputs]),
+            outage=outage,
+        )
+
+    def hub(self, index: int) -> HubInputs:
+        """Row ``index`` as scalar-engine :class:`HubInputs`."""
+        if not 0 <= index < self.n_hubs:
+            raise FleetError(f"hub index {index} out of range for {self.n_hubs} hubs")
+        return HubInputs(
+            load_rate=self.load_rate[index],
+            rtp_kwh=self.rtp_kwh[index],
+            pv_power_kw=self.pv_power_kw[index],
+            wt_power_kw=self.wt_power_kw[index],
+            occupied=self.occupied[index],
+            discount=self.discount[index],
+            outage=None if self.outage is None else self.outage[index],
+        )

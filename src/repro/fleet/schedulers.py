@@ -1,0 +1,204 @@
+"""Vectorized battery schedulers over :class:`FleetSimulation` states.
+
+Each scheduler is the batched twin of one scalar baseline in
+:mod:`repro.rl.schedulers` and produces **identical per-hub actions** given
+identical inputs/seeds, which is what lets the equivalence tests compare
+whole scheduled runs between the two engines:
+
+* :class:`FleetIdleScheduler` ↔ ``IdleScheduler``
+* :class:`FleetRandomScheduler` ↔ ``RandomScheduler`` (per-hub streams;
+  NumPy bulk draws reproduce repeated single draws bit-for-bit)
+* :class:`FleetRuleBasedScheduler` ↔ ``RuleBasedScheduler``
+* :class:`FleetGreedyRenewableScheduler` ↔ ``GreedyRenewableScheduler``
+
+The protocol is ``scheduler(sim) -> (n_hubs,) actions`` plus an optional
+``reset(sim)`` hook that :meth:`FleetSimulation.run` invokes once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..energy.battery import CHARGE, DISCHARGE, IDLE
+from ..errors import ConfigError, FleetError
+from ..rng import RngFactory
+from .simulation import FleetSimulation
+
+
+class FleetScheduler:
+    """Base class: a batched policy over :class:`FleetSimulation` states."""
+
+    name: str = "fleet-scheduler"
+
+    def __call__(self, sim: FleetSimulation) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self, sim: FleetSimulation) -> None:
+        """Hook for per-run state (thresholds, pre-drawn actions)."""
+
+
+class FleetIdleScheduler(FleetScheduler):
+    """Never use any battery."""
+
+    name = "idle"
+
+    def __call__(self, sim: FleetSimulation) -> np.ndarray:
+        return np.zeros(sim.n_hubs, dtype=int)
+
+
+class FleetRandomScheduler(FleetScheduler):
+    """Uniform random action per hub per slot, one RNG stream per hub.
+
+    Sequences are pre-drawn per hub at :meth:`reset`; because NumPy's
+    ``Generator.integers`` yields the same values whether drawn in bulk or
+    one at a time, hub *i* receives exactly the actions the scalar
+    ``RandomScheduler`` would draw from the same stream.
+    """
+
+    name = "random"
+
+    def __init__(self, rngs: Sequence[np.random.Generator]) -> None:
+        if not rngs:
+            raise ConfigError("FleetRandomScheduler needs at least one stream")
+        self._rngs = list(rngs)
+        self._actions: np.ndarray | None = None
+
+    @classmethod
+    def from_factory(
+        cls, factory: RngFactory, n_hubs: int, *, prefix: str = "fleet/random"
+    ) -> "FleetRandomScheduler":
+        """One named sub-stream per hub, stable under fleet-size changes."""
+        return cls(list(factory.substreams(prefix, n_hubs)))
+
+    def reset(self, sim: FleetSimulation) -> None:
+        if len(self._rngs) != sim.n_hubs:
+            raise FleetError(
+                f"{len(self._rngs)} random streams for {sim.n_hubs} hubs"
+            )
+        self._actions = np.stack(
+            [rng.integers(-1, 2, size=sim.horizon) for rng in self._rngs]
+        )
+
+    def __call__(self, sim: FleetSimulation) -> np.ndarray:
+        if self._actions is None:
+            self.reset(sim)
+        return self._actions[:, sim.t]
+
+
+class FleetRuleBasedScheduler(FleetScheduler):
+    """Charge below each hub's cheap-price quantile, discharge above the
+    expensive one — the batched peak/off-peak heuristic.
+
+    Thresholds are computed per hub over that hub's own full price trace
+    (exactly like the scalar rule), so every hub adapts to its own price
+    level.
+    """
+
+    name = "rule-based"
+
+    def __init__(
+        self,
+        *,
+        cheap_quantile: float = 0.3,
+        expensive_quantile: float = 0.7,
+    ) -> None:
+        if not 0.0 < cheap_quantile < expensive_quantile < 1.0:
+            raise ConfigError(
+                "quantiles must satisfy 0 < cheap < expensive < 1, got "
+                f"({cheap_quantile}, {expensive_quantile})"
+            )
+        self.cheap_quantile = cheap_quantile
+        self.expensive_quantile = expensive_quantile
+        self._cheap: np.ndarray | None = None
+        self._expensive: np.ndarray | None = None
+
+    def reset(self, sim: FleetSimulation) -> None:
+        # Per-row np.quantile calls keep thresholds bit-identical to the
+        # scalar scheduler's; this runs once per fleet run.
+        prices = sim.inputs.rtp_kwh
+        self._cheap = np.array(
+            [float(np.quantile(row, self.cheap_quantile)) for row in prices]
+        )
+        self._expensive = np.array(
+            [float(np.quantile(row, self.expensive_quantile)) for row in prices]
+        )
+
+    def __call__(self, sim: FleetSimulation) -> np.ndarray:
+        if self._cheap is None or self._expensive is None:
+            self.reset(sim)
+        price = sim.inputs.rtp_kwh[:, sim.t]
+        return np.where(
+            price <= self._cheap,
+            CHARGE,
+            np.where(price >= self._expensive, DISCHARGE, IDLE),
+        )
+
+
+class FleetGreedyRenewableScheduler(FleetScheduler):
+    """Store renewable surplus; discharge during each hub's expensive slots."""
+
+    name = "greedy-renewable"
+
+    def __init__(self, *, expensive_quantile: float = 0.75) -> None:
+        if not 0.0 < expensive_quantile < 1.0:
+            raise ConfigError(
+                f"expensive_quantile must be in (0, 1), got {expensive_quantile}"
+            )
+        self.expensive_quantile = expensive_quantile
+        self._threshold: np.ndarray | None = None
+
+    def reset(self, sim: FleetSimulation) -> None:
+        self._threshold = np.array(
+            [
+                float(np.quantile(row, self.expensive_quantile))
+                for row in sim.inputs.rtp_kwh
+            ]
+        )
+
+    def __call__(self, sim: FleetSimulation) -> np.ndarray:
+        if self._threshold is None:
+            self.reset(sim)
+        t = sim.t
+        params = sim.params
+        renewables = sim.inputs.pv_power_kw[:, t] + sim.inputs.wt_power_kw[:, t]
+        alpha = sim.inputs.load_rate[:, t]
+        bs_load = params.n_base_stations * (
+            params.bs_p_min_kw + alpha * (params.bs_p_max_kw - params.bs_p_min_kw)
+        )
+        return np.where(
+            renewables > bs_load,
+            CHARGE,
+            np.where(sim.inputs.rtp_kwh[:, t] >= self._threshold, DISCHARGE, IDLE),
+        )
+
+
+#: Scheduler-name registry used by the fleet experiment / CLI.
+FLEET_SCHEDULERS = (
+    FleetIdleScheduler.name,
+    FleetRandomScheduler.name,
+    FleetRuleBasedScheduler.name,
+    FleetGreedyRenewableScheduler.name,
+)
+
+
+def make_fleet_scheduler(
+    name: str,
+    *,
+    n_hubs: int,
+    rng_factory: RngFactory | None = None,
+) -> FleetScheduler:
+    """Instantiate a fleet scheduler by name (random needs a factory)."""
+    if name == FleetIdleScheduler.name:
+        return FleetIdleScheduler()
+    if name == FleetRuleBasedScheduler.name:
+        return FleetRuleBasedScheduler()
+    if name == FleetGreedyRenewableScheduler.name:
+        return FleetGreedyRenewableScheduler()
+    if name == FleetRandomScheduler.name:
+        factory = rng_factory or RngFactory(seed=0)
+        return FleetRandomScheduler.from_factory(factory, n_hubs)
+    raise FleetError(
+        f"unknown fleet scheduler {name!r}; available: {', '.join(FLEET_SCHEDULERS)}"
+    )

@@ -1,0 +1,304 @@
+"""Batch-stepping engine: advance N ECT-Hubs per slot with NumPy.
+
+:class:`FleetSimulation` is the vectorized counterpart of
+:class:`~repro.hub.simulation.HubSimulation`. Per slot it applies one
+battery action per hub, resolves the Eq. 7 power balance, books Eqs. 8–11,
+and overrides blackout slots (grid import zeroed, charging suspended, the
+Eq. 6 emergency reserve carrying the base stations) — for **all hubs at
+once** over :class:`~repro.fleet.params.FleetParams` /
+:class:`~repro.fleet.inputs.FleetInputs` struct-of-arrays state.
+
+Every expression mirrors the scalar engine's order of operations
+(``BatteryPack._charge`` / ``_discharge`` / ``emergency_supply``,
+``EctHub.power_balance``, ``compute_slot_ledger``), so a batched run is
+numerically equivalent to N independent scalar runs; the property-style
+test in ``tests/test_fleet.py`` enforces agreement within atol 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..energy.battery import CHARGE, DISCHARGE, IDLE
+from ..errors import ConfigError, FleetError, GridError
+from .costs import FleetCostBook
+from .inputs import FleetInputs
+from .params import FleetParams
+
+#: SoC-bound tolerance, identical to the scalar ``BatteryPack`` clipping.
+_SOC_EPS = 1e-12
+
+
+class FleetSimulation:
+    """Advance a whole fleet through :class:`FleetInputs`, slot by slot."""
+
+    def __init__(
+        self,
+        params: FleetParams,
+        inputs: FleetInputs,
+        *,
+        initial_soc_fraction: float | np.ndarray = 0.5,
+    ) -> None:
+        if params.n_hubs != inputs.n_hubs:
+            raise FleetError(
+                f"params describe {params.n_hubs} hubs but inputs carry "
+                f"{inputs.n_hubs}"
+            )
+        self.params = params
+        self.inputs = inputs
+        self._outage = inputs.outage_mask()
+        self._initial_soc = self._as_soc_fraction(initial_soc_fraction)
+        self.book = FleetCostBook(params.n_hubs, inputs.horizon)
+        self._t = 0
+        self.soc_kwh = self._reset_soc(self._initial_soc)
+        self.throughput_kwh = np.zeros(params.n_hubs)
+
+    def _as_soc_fraction(self, fraction: float | np.ndarray) -> np.ndarray:
+        fractions = np.broadcast_to(
+            np.asarray(fraction, dtype=float), (self.params.n_hubs,)
+        ).copy()
+        if fractions.min() < 0.0 or fractions.max() > 1.0:
+            raise ConfigError(
+                f"initial_soc_fraction must be in [0, 1], got {fraction}"
+            )
+        return fractions
+
+    def _reset_soc(self, fractions: np.ndarray) -> np.ndarray:
+        # Mirrors BatteryPack.reset: target clipped into the legal window.
+        target = fractions * self.params.capacity_kwh
+        return np.minimum(
+            np.maximum(target, self.params.soc_min_kwh), self.params.soc_max_kwh
+        )
+
+    # ------------------------------------------------------------------ #
+    # State                                                                #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_hubs(self) -> int:
+        """Number of hubs stepped together."""
+        return self.params.n_hubs
+
+    @property
+    def t(self) -> int:
+        """Next slot index to simulate."""
+        return self._t
+
+    @property
+    def horizon(self) -> int:
+        """Total number of slots."""
+        return self.inputs.horizon
+
+    @property
+    def done(self) -> bool:
+        """Whether the horizon has been exhausted."""
+        return self._t >= self.horizon
+
+    @property
+    def soc_fraction(self) -> np.ndarray:
+        """Per-hub state of charge as a fraction of capacity."""
+        return self.soc_kwh / self.params.capacity_kwh
+
+    def reset(self, *, soc_fraction: float | np.ndarray | None = None) -> None:
+        """Rewind to slot 0 and reset batteries and the fleet cost book."""
+        self._t = 0
+        self.book = FleetCostBook(self.params.n_hubs, self.inputs.horizon)
+        fractions = (
+            self._initial_soc
+            if soc_fraction is None
+            else self._as_soc_fraction(soc_fraction)
+        )
+        self.soc_kwh = self._reset_soc(fractions)
+        self.throughput_kwh = np.zeros(self.params.n_hubs)
+
+    # ------------------------------------------------------------------ #
+    # Stepping                                                             #
+    # ------------------------------------------------------------------ #
+
+    def step(self, actions: np.ndarray) -> dict[str, np.ndarray]:
+        """Apply one battery action per hub to the current slot.
+
+        ``actions`` has shape ``(n_hubs,)`` with entries in {−1, 0, 1}.
+        Returns the recorded slot columns (arrays of shape ``(n_hubs,)``).
+        """
+        if self.done:
+            raise FleetError(f"fleet horizon of {self.horizon} slots exhausted")
+        actions = np.asarray(actions)
+        if actions.shape != (self.n_hubs,):
+            raise FleetError(
+                f"actions must have shape ({self.n_hubs},), got {actions.shape}"
+            )
+        if not np.isin(actions, (DISCHARGE, IDLE, CHARGE)).all():
+            raise FleetError("battery actions must be -1, 0, or 1")
+
+        t = self._t
+        params = self.params
+        dt = params.dt_h
+        blackout = self._outage[:, t]
+
+        # Shared per-slot quantities (same formulas as the scalar engine).
+        alpha = self.inputs.load_rate[:, t]
+        p_bs = params.n_base_stations * (
+            params.bs_p_min_kw + alpha * (params.bs_p_max_kw - params.bs_p_min_kw)
+        )
+        rtp = self.inputs.rtp_kwh[:, t]
+        discount = self.inputs.discount[:, t]
+        srtp = params.cs_base_price_kwh * (1.0 - discount)
+        p_pv = self.inputs.pv_power_kw[:, t]
+        p_wt = self.inputs.wt_power_kw[:, t]
+
+        normal = self._normal_branch(actions, p_bs, p_pv, p_wt, t, dt)
+        dark = self._blackout_branch(p_bs, p_pv, p_wt, dt)
+
+        # Select per hub; battery state advances through exactly one branch.
+        applied_action = np.where(blackout, IDLE, normal["action"])
+        p_cs = np.where(blackout, 0.0, normal["p_cs_kw"])
+        p_bp = np.where(blackout, dark["p_bp_kw"], normal["p_bp_kw"])
+        p_grid = np.where(blackout, 0.0, normal["p_grid_kw"])
+        surplus = np.where(blackout, dark["surplus_kw"], normal["surplus_kw"])
+        unserved = np.where(blackout, dark["unserved_kwh"], 0.0)
+        self.soc_kwh = np.where(blackout, dark["soc_kwh"], normal["soc_kwh"])
+        self.throughput_kwh = self.throughput_kwh + np.where(
+            blackout, dark["throughput_kwh"], normal["throughput_kwh"]
+        )
+
+        self._check_import_limit(p_grid, blackout)
+
+        columns = {
+            "action": applied_action,
+            "blackout": blackout,
+            "p_bs_kw": p_bs,
+            "p_cs_kw": p_cs,
+            "p_bp_kw": p_bp,
+            "p_pv_kw": p_pv,
+            "p_wt_kw": p_wt,
+            "p_grid_kw": p_grid,
+            "surplus_kw": surplus,
+            "rtp_kwh": rtp,
+            "srtp_kwh": srtp,
+            "soc_kwh": self.soc_kwh,
+            # Eqs. 8, 9, 11 — identical expressions to compute_slot_ledger.
+            "grid_cost": p_grid * dt * rtp,
+            "bp_cost": np.where(applied_action != IDLE, 1.0, 0.0)
+            * params.c_bp_per_slot,
+            "revenue": p_cs * dt * srtp,
+            "unserved_kwh": unserved,
+        }
+        self.book.record(t, **columns)
+        self._t += 1
+        return columns
+
+    def _normal_branch(
+        self,
+        actions: np.ndarray,
+        p_bs: np.ndarray,
+        p_pv: np.ndarray,
+        p_wt: np.ndarray,
+        t: int,
+        dt: float,
+    ) -> dict[str, np.ndarray]:
+        """Vectorized BatteryPack.step + Eq. 7 balance for non-blackout hubs."""
+        params = self.params
+        soc = self.soc_kwh
+
+        # Charge path (BatteryPack._charge): clip the stored energy to the
+        # SoC_max headroom; a fully-clipped request degrades to IDLE.
+        eta_ch = params.charge_efficiency
+        stored_requested = params.charge_rate_kw * dt * eta_ch
+        headroom = np.maximum(params.soc_max_kwh - soc, 0.0)
+        stored = np.where(
+            stored_requested > headroom + _SOC_EPS, headroom, stored_requested
+        )
+        charging = (actions == CHARGE) & (stored > 0.0)
+        stored = np.where(charging, stored, 0.0)
+        bus_charge_kwh = np.where(charging, stored / eta_ch, 0.0)
+
+        # Discharge path (BatteryPack._discharge), both efficiency
+        # conventions: paper-exact moves SoC by η·R; physical draws R/η.
+        eta_dch = params.discharge_efficiency
+        requested_bus_kwh = params.discharge_rate_kw * dt
+        drawn_requested = np.where(
+            params.paper_exact,
+            requested_bus_kwh * eta_dch,
+            requested_bus_kwh / eta_dch,
+        )
+        bus_per_drawn = np.where(params.paper_exact, 1.0, eta_dch)
+        available = np.maximum(soc - params.soc_min_kwh, 0.0)
+        drawn = np.where(
+            drawn_requested > available + _SOC_EPS, available, drawn_requested
+        )
+        discharging = (actions == DISCHARGE) & (drawn > 0.0)
+        drawn = np.where(discharging, drawn, 0.0)
+        bus_discharge_kwh = np.where(discharging, drawn * bus_per_drawn, 0.0)
+
+        applied = np.where(
+            charging, CHARGE, np.where(discharging, DISCHARGE, IDLE)
+        )
+        p_bp = (bus_charge_kwh - bus_discharge_kwh) / dt
+        new_soc = soc + stored - drawn
+
+        # Eq. 7 (EctHub.power_balance): import the residual, curtail surplus.
+        p_cs = self.inputs.occupied[:, t] * params.cs_rate_kw
+        residual = p_bs + p_cs + p_bp - p_pv - p_wt
+        p_grid = np.where(residual >= 0.0, residual, 0.0)
+        surplus = np.where(residual >= 0.0, 0.0, -residual)
+
+        return {
+            "action": applied,
+            "p_cs_kw": p_cs,
+            "p_bp_kw": p_bp,
+            "p_grid_kw": p_grid,
+            "surplus_kw": surplus,
+            "soc_kwh": new_soc,
+            "throughput_kwh": stored + drawn,
+        }
+
+    def _blackout_branch(
+        self, p_bs: np.ndarray, p_pv: np.ndarray, p_wt: np.ndarray, dt: float
+    ) -> dict[str, np.ndarray]:
+        """Grid down: renewables first, then the Eq. 6 emergency reserve.
+
+        Mirrors ``HubSimulation._blackout_slot`` + ``BatteryPack.
+        emergency_supply``: charging suspended, the scheduled action
+        overridden, and the battery allowed below ``SoC_min``.
+        """
+        params = self.params
+        soc = self.soc_kwh
+
+        renewable = p_pv + p_wt
+        deficit_kwh = np.maximum(p_bs - renewable, 0.0) * dt
+        eta = np.where(params.paper_exact, 1.0, params.discharge_efficiency)
+        drawn = np.minimum(deficit_kwh / eta, soc)
+        served_kwh = drawn * eta
+        return {
+            "p_bp_kw": np.where(served_kwh > 0.0, -served_kwh / dt, 0.0),
+            "surplus_kw": np.maximum(renewable - p_bs, 0.0),
+            "soc_kwh": soc - drawn,
+            "throughput_kwh": drawn,
+            "unserved_kwh": deficit_kwh - served_kwh,
+        }
+
+    def _check_import_limit(self, p_grid: np.ndarray, blackout: np.ndarray) -> None:
+        """GridConnection's interconnection-limit check, batched."""
+        limit = self.params.import_limit_kw
+        over = ~blackout & (limit > 0.0) & (p_grid > limit)
+        if over.any():
+            hub = int(np.argmax(over))
+            raise GridError(
+                f"hub {hub}: import of {p_grid[hub]:.3f} kW exceeds the "
+                f"interconnection limit of {limit[hub]:.3f} kW"
+            )
+
+    def run(self, scheduler) -> FleetCostBook:
+        """Run the remaining horizon under ``scheduler(simulation) -> actions``.
+
+        ``scheduler`` may expose a ``reset(simulation)`` hook (the fleet
+        schedulers do); it is invoked once before stepping. Returns the
+        completed :class:`FleetCostBook`.
+        """
+        reset_hook = getattr(scheduler, "reset", None)
+        if callable(reset_hook):
+            reset_hook(self)
+        while not self.done:
+            self.step(scheduler(self))
+        return self.book

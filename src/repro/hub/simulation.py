@@ -22,6 +22,49 @@ from .costs import CostBook, SlotLedger, compute_slot_ledger
 from .hub import EctHub
 
 
+def validate_exogenous_traces(
+    *,
+    load_rate: np.ndarray,
+    rtp_kwh: np.ndarray,
+    pv_power_kw: np.ndarray,
+    wt_power_kw: np.ndarray,
+    occupied: np.ndarray,
+    discount: np.ndarray,
+    context: str = "hub input",
+) -> None:
+    """Range- and finiteness-check exogenous traces of any shape.
+
+    Shared by :class:`HubInputs` (1-D, one hub) and
+    :class:`repro.fleet.FleetInputs` (2-D, ``(n_hubs, horizon)``) so both
+    engines reject the same malformed data. NaN traces would otherwise slip
+    through pure range checks because every NaN comparison is False.
+    """
+    traces = {
+        "load_rate": load_rate,
+        "rtp_kwh": rtp_kwh,
+        "pv_power_kw": pv_power_kw,
+        "wt_power_kw": wt_power_kw,
+        "occupied": occupied,
+        "discount": discount,
+    }
+    for name, trace in traces.items():
+        arr = np.asarray(trace)
+        if arr.size and not np.isfinite(arr).all():
+            raise DataError(f"{context} column {name} contains NaN or inf")
+    if not np.asarray(load_rate).size:
+        return
+    if load_rate.min() < 0 or load_rate.max() > 1:
+        raise DataError("load_rate must lie in [0, 1]")
+    if rtp_kwh.min() < 0:
+        raise DataError("rtp_kwh must be non-negative")
+    if pv_power_kw.min() < 0 or wt_power_kw.min() < 0:
+        raise DataError("renewable power must be non-negative")
+    if not np.isin(np.unique(occupied), (0, 1)).all():
+        raise DataError("occupied must be binary")
+    if discount.min() < 0 or discount.max() >= 1:
+        raise DataError("discount must lie in [0, 1)")
+
+
 @dataclass(frozen=True)
 class HubInputs:
     """Exogenous per-slot traces driving a simulation.
@@ -52,17 +95,14 @@ class HubInputs:
                 raise DataError(f"hub input column {name} has inconsistent length")
         if self.outage is not None and len(self.outage) != n:
             raise DataError("outage mask has inconsistent length")
-        if n:
-            if self.load_rate.min() < 0 or self.load_rate.max() > 1:
-                raise DataError("load_rate must lie in [0, 1]")
-            if self.rtp_kwh.min() < 0:
-                raise DataError("rtp_kwh must be non-negative")
-            if self.pv_power_kw.min() < 0 or self.wt_power_kw.min() < 0:
-                raise DataError("renewable power must be non-negative")
-            if not np.isin(np.unique(self.occupied), (0, 1)).all():
-                raise DataError("occupied must be binary")
-            if self.discount.min() < 0 or self.discount.max() >= 1:
-                raise DataError("discount must lie in [0, 1)")
+        validate_exogenous_traces(
+            load_rate=self.load_rate,
+            rtp_kwh=self.rtp_kwh,
+            pv_power_kw=self.pv_power_kw,
+            wt_power_kw=self.wt_power_kw,
+            occupied=self.occupied,
+            discount=self.discount,
+        )
 
     def __len__(self) -> int:
         return len(self.load_rate)

@@ -23,6 +23,7 @@ ALL_IDS = {
     "abl-sched",
     "abl-cbp",
     "abl-loss",
+    "fleet",
 }
 
 

@@ -1,0 +1,486 @@
+"""Tests for the vectorized fleet engine (repro.fleet).
+
+The centrepiece is the property-style equivalence suite: a batched
+:class:`FleetSimulation` run must agree with N independent scalar
+:class:`HubSimulation` runs within atol 1e-9 for every shared scheduler,
+including blackout slots. Also covers the struct-of-arrays containers, the
+shared NaN/inf trace validation, blackout edge cases on both engines, and
+the fleet CLI/experiment plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.energy.battery import BatteryConfig, CHARGE, DISCHARGE, IDLE
+from repro.errors import ConfigError, DataError, FleetError
+from repro.fleet import (
+    FleetInputs,
+    FleetParams,
+    FleetSimulation,
+    FleetGreedyRenewableScheduler,
+    FleetIdleScheduler,
+    FleetRandomScheduler,
+    FleetRuleBasedScheduler,
+    build_default_fleet,
+    fleet_simulation_from_scenarios,
+    make_fleet_scheduler,
+)
+from repro.hub.hub import HubConfig
+from repro.hub.simulation import HubInputs, HubSimulation
+from repro.rl.schedulers import (
+    GreedyRenewableScheduler,
+    IdleScheduler,
+    RandomScheduler,
+    RuleBasedScheduler,
+)
+from repro.rng import RngFactory
+
+ATOL = 1e-9
+
+
+def small_hub_config(**battery_kwargs) -> HubConfig:
+    """A hub with a small battery so SoC bounds are reached quickly."""
+    battery = BatteryConfig(
+        capacity_kwh=10.0,
+        charge_rate_kw=5.0,
+        discharge_rate_kw=5.0,
+        **battery_kwargs,
+    )
+    return HubConfig(battery=battery, n_base_stations=2, pv=None)
+
+
+def flat_inputs(
+    horizon: int = 6,
+    *,
+    outage: np.ndarray | None = None,
+    occupied: np.ndarray | None = None,
+) -> HubInputs:
+    """Deterministic traces: constant BS idle load, no renewables."""
+    return HubInputs(
+        load_rate=np.zeros(horizon),
+        rtp_kwh=np.full(horizon, 0.1),
+        pv_power_kw=np.zeros(horizon),
+        wt_power_kw=np.zeros(horizon),
+        occupied=np.zeros(horizon, dtype=int) if occupied is None else occupied,
+        discount=np.zeros(horizon),
+        outage=outage,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Trace validation (shared by both engines)                              #
+# --------------------------------------------------------------------- #
+
+
+class TestTraceValidation:
+    def test_hub_inputs_reject_nan(self):
+        load = np.zeros(4)
+        load[2] = np.nan
+        with pytest.raises(DataError, match="NaN"):
+            HubInputs(
+                load_rate=load,
+                rtp_kwh=np.zeros(4),
+                pv_power_kw=np.zeros(4),
+                wt_power_kw=np.zeros(4),
+                occupied=np.zeros(4, dtype=int),
+                discount=np.zeros(4),
+            )
+
+    def test_hub_inputs_reject_inf(self):
+        rtp = np.zeros(4)
+        rtp[0] = np.inf
+        with pytest.raises(DataError, match="NaN or inf"):
+            HubInputs(
+                load_rate=np.zeros(4),
+                rtp_kwh=rtp,
+                pv_power_kw=np.zeros(4),
+                wt_power_kw=np.zeros(4),
+                occupied=np.zeros(4, dtype=int),
+                discount=np.zeros(4),
+            )
+
+    def test_fleet_inputs_reject_nan(self):
+        pv = np.zeros((2, 4))
+        pv[1, 3] = np.nan
+        with pytest.raises(DataError, match="pv_power_kw"):
+            FleetInputs(
+                load_rate=np.zeros((2, 4)),
+                rtp_kwh=np.zeros((2, 4)),
+                pv_power_kw=pv,
+                wt_power_kw=np.zeros((2, 4)),
+                occupied=np.zeros((2, 4), dtype=int),
+                discount=np.zeros((2, 4)),
+            )
+
+    def test_fleet_inputs_range_checks(self):
+        with pytest.raises(DataError, match="load_rate"):
+            FleetInputs(
+                load_rate=np.full((2, 4), 1.5),
+                rtp_kwh=np.zeros((2, 4)),
+                pv_power_kw=np.zeros((2, 4)),
+                wt_power_kw=np.zeros((2, 4)),
+                occupied=np.zeros((2, 4), dtype=int),
+                discount=np.zeros((2, 4)),
+            )
+
+    def test_fleet_inputs_must_be_2d(self):
+        with pytest.raises(FleetError, match="2-D"):
+            FleetInputs(
+                load_rate=np.zeros(4),
+                rtp_kwh=np.zeros(4),
+                pv_power_kw=np.zeros(4),
+                wt_power_kw=np.zeros(4),
+                occupied=np.zeros(4, dtype=int),
+                discount=np.zeros(4),
+            )
+
+
+# --------------------------------------------------------------------- #
+# Containers                                                             #
+# --------------------------------------------------------------------- #
+
+
+class TestContainers:
+    def test_stack_and_hub_round_trip(self):
+        rows = [flat_inputs(5), flat_inputs(5, outage=np.array([0, 1, 0, 0, 1], dtype=bool))]
+        fleet = FleetInputs.from_hub_inputs(rows)
+        assert fleet.n_hubs == 2 and fleet.horizon == 5
+        back = fleet.hub(1)
+        np.testing.assert_array_equal(back.outage, rows[1].outage)
+        np.testing.assert_array_equal(fleet.outage_mask()[0], np.zeros(5, dtype=bool))
+
+    def test_stack_rejects_mixed_horizons(self):
+        with pytest.raises(FleetError, match="horizon"):
+            FleetInputs.from_hub_inputs([flat_inputs(5), flat_inputs(6)])
+
+    def test_params_from_configs(self):
+        params = FleetParams.from_hub_configs([small_hub_config(), HubConfig()])
+        assert params.n_hubs == 2
+        assert params.capacity_kwh[0] == 10.0
+        assert params.paper_exact.dtype == bool
+
+    def test_params_reject_mixed_dt(self):
+        with pytest.raises(FleetError, match="slot length"):
+            FleetParams.from_hub_configs([HubConfig(), HubConfig(dt_h=0.5)])
+
+    def test_simulation_rejects_mismatched_shapes(self):
+        params = FleetParams.from_hub_configs([small_hub_config()])
+        fleet = FleetInputs.from_hub_inputs([flat_inputs(4), flat_inputs(4)])
+        with pytest.raises(FleetError, match="hubs"):
+            FleetSimulation(params, fleet)
+
+    def test_bad_initial_soc_rejected(self):
+        params = FleetParams.from_hub_configs([small_hub_config()])
+        fleet = FleetInputs.from_hub_inputs([flat_inputs(4)])
+        with pytest.raises(ConfigError):
+            FleetSimulation(params, fleet, initial_soc_fraction=1.5)
+
+
+# --------------------------------------------------------------------- #
+# Equivalence: batched engine == N independent scalar engines            #
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def fleet_case():
+    """≥10 hubs x ≥7 days with outages, shared by every scheduler check."""
+    scenarios, sim = build_default_fleet(10, n_days=7, seed=3, outage_probability=0.01)
+    assert sim.inputs.outage is not None and sim.inputs.outage.any()
+    return scenarios, sim
+
+
+def run_scalar_fleet(scenarios, fleet_inputs, scheduler_for):
+    """N independent HubSimulation runs over the same stacked traces."""
+    books = []
+    for index, scenario in enumerate(scenarios):
+        sim = HubSimulation(scenario.build_hub(), fleet_inputs.hub(index))
+        sim.run(scheduler_for(index))
+        books.append(sim.book)
+    return books
+
+
+def assert_books_match(fleet_book, scalar_books):
+    """Totals, per-slot ledgers, and daily rewards agree within ATOL."""
+    for name, scalar_value in (
+        ("operating_cost_per_hub", [b.operating_cost for b in scalar_books]),
+        ("charging_revenue_per_hub", [b.charging_revenue for b in scalar_books]),
+        ("profit_per_hub", [b.profit for b in scalar_books]),
+        ("grid_energy_per_hub_kwh", [b.total_grid_energy_kwh for b in scalar_books]),
+        ("curtailed_per_hub_kwh", [b.total_curtailed_kwh for b in scalar_books]),
+        ("unserved_per_hub_kwh", [b.total_unserved_kwh for b in scalar_books]),
+    ):
+        np.testing.assert_allclose(
+            getattr(fleet_book, name), scalar_value, rtol=0, atol=ATOL, err_msg=name
+        )
+    np.testing.assert_allclose(
+        fleet_book.daily_rewards(),
+        [b.daily_rewards() for b in scalar_books],
+        rtol=0,
+        atol=ATOL,
+    )
+    # Slot-level spot check: actions and SoC trajectories line up exactly.
+    for index, book in enumerate(scalar_books):
+        np.testing.assert_array_equal(
+            fleet_book.action[index], [l.action for l in book.ledgers]
+        )
+        np.testing.assert_allclose(
+            fleet_book.soc_kwh[index],
+            [l.soc_kwh for l in book.ledgers],
+            rtol=0,
+            atol=ATOL,
+        )
+
+
+class TestEquivalence:
+    def test_idle(self, fleet_case):
+        scenarios, sim = fleet_case
+        sim.reset()
+        fleet_book = sim.run(FleetIdleScheduler())
+        scalar = run_scalar_fleet(scenarios, sim.inputs, lambda i: IdleScheduler())
+        assert_books_match(fleet_book, scalar)
+
+    def test_rule_based(self, fleet_case):
+        scenarios, sim = fleet_case
+        sim.reset()
+        fleet_book = sim.run(FleetRuleBasedScheduler())
+        scalar = run_scalar_fleet(scenarios, sim.inputs, lambda i: RuleBasedScheduler())
+        assert_books_match(fleet_book, scalar)
+        # Both branches of the rule fired somewhere in the fleet.
+        assert (fleet_book.action == CHARGE).any()
+        assert (fleet_book.action == DISCHARGE).any()
+
+    def test_random_shared_seeds(self, fleet_case):
+        scenarios, sim = fleet_case
+        sim.reset()
+        fleet_book = sim.run(
+            FleetRandomScheduler.from_factory(RngFactory(seed=11), sim.n_hubs)
+        )
+        scalar = run_scalar_fleet(
+            scenarios,
+            sim.inputs,
+            lambda i: RandomScheduler(RngFactory(seed=11).stream(f"fleet/random/{i}")),
+        )
+        assert_books_match(fleet_book, scalar)
+
+    def test_greedy_renewable(self, fleet_case):
+        scenarios, sim = fleet_case
+        sim.reset()
+        fleet_book = sim.run(FleetGreedyRenewableScheduler())
+        scalar = run_scalar_fleet(
+            scenarios, sim.inputs, lambda i: GreedyRenewableScheduler()
+        )
+        assert_books_match(fleet_book, scalar)
+
+    def test_paper_exact_battery_convention(self):
+        configs = [
+            small_hub_config(paper_exact=True),
+            small_hub_config(paper_exact=True),
+        ]
+        outage = np.zeros(24, dtype=bool)
+        outage[5:8] = True
+        rows = [flat_inputs(24, outage=outage), flat_inputs(24)]
+        fleet = FleetInputs.from_hub_inputs(rows)
+        sim = FleetSimulation(FleetParams.from_hub_configs(configs), fleet)
+        fleet_book = sim.run(FleetRuleBasedScheduler())
+        from repro.hub.hub import EctHub
+
+        scalar = []
+        for index, config in enumerate(configs):
+            one = HubSimulation(EctHub(config), fleet.hub(index))
+            one.run(RuleBasedScheduler())
+            scalar.append(one.book)
+        assert_books_match(fleet_book, scalar)
+
+
+# --------------------------------------------------------------------- #
+# Blackout edge cases, exercised on BOTH engines                         #
+# --------------------------------------------------------------------- #
+
+
+def engines_for(config: HubConfig, inputs: HubInputs, *, soc: float = 0.5):
+    """(scalar sim, fleet sim) over identical single-hub state."""
+    from repro.hub.hub import EctHub
+
+    scalar = HubSimulation(EctHub(config), inputs, initial_soc_fraction=soc)
+    fleet = FleetSimulation(
+        FleetParams.from_hub_configs([config]),
+        FleetInputs.from_hub_inputs([inputs]),
+        initial_soc_fraction=soc,
+    )
+    return scalar, fleet
+
+
+class TestBlackoutEdges:
+    def test_blackout_on_slot_zero(self):
+        config = small_hub_config()
+        outage = np.zeros(4, dtype=bool)
+        outage[0] = True
+        scalar, fleet = engines_for(config, flat_inputs(4, outage=outage))
+
+        ledger = scalar.step(CHARGE)
+        columns = fleet.step(np.array([CHARGE]))
+        # The scheduled charge is overridden; the reserve carries the BS.
+        assert ledger.blackout and ledger.action == IDLE
+        assert ledger.p_grid_kw == 0.0 and ledger.revenue == 0.0
+        assert columns["action"][0] == IDLE
+        assert columns["p_grid_kw"][0] == 0.0
+        np.testing.assert_allclose(
+            columns["soc_kwh"][0], ledger.soc_kwh, rtol=0, atol=ATOL
+        )
+        assert ledger.soc_kwh < 5.0  # battery dipped to serve the BS
+
+    def test_back_to_back_outages_drain_then_recover(self):
+        config = small_hub_config()
+        outage = np.zeros(6, dtype=bool)
+        outage[1:4] = True  # three consecutive dark slots
+        inputs = flat_inputs(6, outage=outage, occupied=np.ones(6, dtype=int))
+        scalar, fleet = engines_for(config, inputs, soc=1.0)
+        scalar.run(IdleScheduler())
+        fleet_book = fleet.run(FleetIdleScheduler())
+
+        socs = [l.soc_kwh for l in scalar.book.ledgers]
+        assert socs[0] > socs[1] > socs[2] > socs[3]  # monotone drain when dark
+        # Charging and grid import are suspended during every outage slot.
+        for t, ledger in enumerate(scalar.book.ledgers):
+            if outage[t]:
+                assert ledger.revenue == 0.0
+                assert ledger.p_cs_kw == 0.0 and ledger.p_grid_kw == 0.0
+        np.testing.assert_allclose(
+            fleet_book.soc_kwh[0], socs, rtol=0, atol=ATOL
+        )
+        np.testing.assert_array_equal(fleet_book.blackout[0], outage)
+
+    def test_emergency_reserve_exhaustion_reports_unserved(self):
+        # Tiny battery + long outage: the Eq. 6 reserve empties and the
+        # remaining BS demand is booked as unserved energy.
+        config = small_hub_config(soc_min_fraction=0.05)
+        outage = np.ones(8, dtype=bool)
+        scalar, fleet = engines_for(config, flat_inputs(8, outage=outage), soc=0.2)
+        scalar.run(IdleScheduler())
+        fleet_book = fleet.run(FleetIdleScheduler())
+
+        assert scalar.book.total_unserved_kwh > 0.0
+        assert scalar.book.ledgers[-1].soc_kwh == pytest.approx(0.0, abs=1e-12)
+        assert fleet_book.soc_kwh[0, -1] == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(
+            fleet_book.unserved_per_hub_kwh[0],
+            scalar.book.total_unserved_kwh,
+            rtol=0,
+            atol=ATOL,
+        )
+        # Battery never goes negative on either engine.
+        assert min(l.soc_kwh for l in scalar.book.ledgers) >= 0.0
+        assert fleet_book.soc_kwh.min() >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# Fleet cost book + engine surface                                       #
+# --------------------------------------------------------------------- #
+
+
+class TestFleetBook:
+    def test_network_totals_are_hub_sums(self, fleet_case):
+        _, sim = fleet_case
+        sim.reset()
+        book = sim.run(FleetRuleBasedScheduler())
+        assert book.profit == pytest.approx(book.profit_per_hub.sum())
+        assert book.operating_cost == pytest.approx(book.operating_cost_per_hub.sum())
+        assert book.daily_rewards().shape == (sim.n_hubs, 7)
+
+    def test_hub_book_reconstruction(self, fleet_case):
+        _, sim = fleet_case
+        sim.reset()
+        book = sim.run(FleetIdleScheduler())
+        hub0 = book.hub_book(0)
+        assert len(hub0) == sim.horizon
+        assert hub0.profit == pytest.approx(book.profit_per_hub[0])
+
+    def test_step_guards(self):
+        params = FleetParams.from_hub_configs([small_hub_config()])
+        sim = FleetSimulation(params, FleetInputs.from_hub_inputs([flat_inputs(2)]))
+        with pytest.raises(FleetError, match="shape"):
+            sim.step(np.zeros(3, dtype=int))
+        with pytest.raises(FleetError, match="-1, 0, or 1"):
+            sim.step(np.array([5]))
+        sim.step(np.array([IDLE]))
+        sim.step(np.array([IDLE]))
+        assert sim.done
+        with pytest.raises(FleetError, match="exhausted"):
+            sim.step(np.array([IDLE]))
+
+    def test_reset_restores_initial_state(self, fleet_case):
+        _, sim = fleet_case
+        sim.reset()
+        first = sim.run(FleetRuleBasedScheduler()).profit
+        sim.reset()
+        second = sim.run(FleetRuleBasedScheduler()).profit
+        assert first == second
+
+
+class TestSchedulerFactory:
+    def test_names(self):
+        for name in ("idle", "random", "rule-based", "greedy-renewable"):
+            sched = make_fleet_scheduler(name, n_hubs=3)
+            assert sched.name == name
+        with pytest.raises(FleetError, match="unknown fleet scheduler"):
+            make_fleet_scheduler("dp-oracle", n_hubs=3)
+
+
+# --------------------------------------------------------------------- #
+# Experiment + CLI plumbing                                              #
+# --------------------------------------------------------------------- #
+
+
+class TestFleetExperimentCli:
+    def test_fleet_experiment_runs(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("fleet", scale=0.2)
+        assert result.data["n_hubs"] >= 4
+        assert len(result.data["profit_per_hub"]) == result.data["n_hubs"]
+        # data must stay deterministic (diffable via --out); timing is
+        # reported in the rendered lines only.
+        assert "hub_slots_per_sec" not in result.data
+        again = run_experiment("fleet", scale=0.2)
+        assert result.to_json_dict() == again.to_json_dict()
+
+    def test_cli_fleet_with_out(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--n-hubs",
+                    "5",
+                    "--days",
+                    "7",
+                    "--scheduler",
+                    "idle",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert "network profit" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["experiment_id"] == "fleet"
+        assert payload["data"]["n_hubs"] == 5
+        assert len(payload["data"]["profit_per_hub"]) == 5
+
+    def test_cli_reports_library_errors_cleanly(self, capsys):
+        assert main(["fleet", "--n-hubs", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "n_hubs must be positive" in err and "Traceback" not in err
+
+    def test_cli_run_with_out(self, tmp_path, capsys):
+        out = tmp_path / "fig5.json"
+        assert main(["run", "fig5", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["experiment_id"] == "fig5"
+        assert "correlation" in payload["data"]
