@@ -4,9 +4,12 @@ Simulates the same 100-hub scenario set under the rule-based scheduler
 twice — once through :class:`repro.fleet.FleetSimulation` (one vectorized
 step per slot) and once as 100 independent
 :class:`~repro.hub.simulation.HubSimulation` runs — and reports throughput
-in hub-slots/sec. The report is persisted to ``reports/fleet.txt`` so the
-perf trajectory is tracked across PRs; the acceptance floor for this PR is
-a ≥5× batched speedup.
+in hub-slots/sec. A second case times the shared-grid coupled engine
+(binding feeders, allocation + reserve routing live every slot) against
+the uncoupled batched step: the guard is coupling < 2× the uncoupled
+cost. Reports are persisted to ``reports/fleet.txt`` so the perf
+trajectory is tracked across PRs; the PR-1 acceptance floor of a ≥5×
+batched speedup still applies.
 """
 
 from __future__ import annotations
@@ -14,6 +17,8 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.fleet import FleetRuleBasedScheduler, build_default_fleet
 from repro.hub.simulation import HubSimulation
@@ -69,3 +74,70 @@ def test_bench_fleet_throughput():
     assert abs(batched_book.profit - looped_profit) < 1e-6
     # Acceptance floor: the batched engine is at least 5x the Python loop.
     assert speedup >= 5.0, report
+
+
+def test_bench_fleet_coupling_overhead():
+    """Shared-grid coupling must cost < 2x the uncoupled batched step.
+
+    Both runs use ``congestion_aware=False`` so the action streams start
+    identical and the congested run cannot schedule its way around the
+    binding limit — the timing difference is the allocation + reserve
+    routing itself, exercised on real contention at every scale. The
+    timed horizon is floored at 14 days: this ratio gates CI, and a
+    sub-50 ms numerator would make the guard a coin flip on shared
+    runners.
+    """
+    scale = float(os.environ.get("ECT_BENCH_SCALE", 1.0))
+    n_days = max(int(round(14 * scale)), 14)
+    n_feeders = 4
+
+    def timed_run(feeder_capacity_kw):
+        _, sim = build_default_fleet(
+            N_HUBS,
+            n_days=n_days,
+            seed=0,
+            outage_probability=0.001,
+            n_feeders=n_feeders,
+            feeder_capacity_kw=feeder_capacity_kw,
+        )
+        best = float("inf")
+        for _ in range(3):  # best-of-3 damps shared-runner noise
+            sim.reset()
+            start = time.perf_counter()
+            book = sim.run(FleetRuleBasedScheduler(congestion_aware=False))
+            best = min(best, time.perf_counter() - start)
+        return book, best
+
+    # Reference: the same 4-feeder topology, unlimited capacity (the
+    # engine's fast path), peaks read off the book's feeder rollup.
+    reference_book, uncoupled_s = timed_run(np.inf)
+    capacity = 0.7 * float(reference_book.feeder_peak_import_kw.max())
+    coupled_book, coupled_s = timed_run(capacity)
+
+    hub_slots = N_HUBS * reference_book.horizon
+    overhead = coupled_s / uncoupled_s
+    report = "\n".join(
+        [
+            "== fleet: shared-grid coupling overhead ==",
+            f"workload: {N_HUBS} hubs x {reference_book.horizon} slots, "
+            f"{n_feeders} feeders @ {capacity:,.0f} kW (70% of peak), "
+            "rule-based scheduler (congestion-blind)",
+            f"uncoupled {hub_slots / uncoupled_s:>12,.0f} hub-slots/sec  "
+            f"({uncoupled_s:.3f}s)",
+            f"coupled   {hub_slots / coupled_s:>12,.0f} hub-slots/sec  "
+            f"({coupled_s:.3f}s)",
+            f"overhead  {overhead:>12.2f}x  (guard: < 2x)",
+            f"congestion: {coupled_book.total_import_shortfall_kwh:,.1f} kWh "
+            f"curtailed over {coupled_book.congested_feeder_slots} "
+            "congested feeder-slots",
+        ]
+    )
+    REPORT_DIR.mkdir(exist_ok=True)
+    # Own section file: repeated/partial bench runs stay deterministic.
+    (REPORT_DIR / "fleet-coupling.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    # The congested run must actually exercise the coupling path.
+    assert coupled_book.congested_feeder_slots > 0
+    # Guard: the allocation step costs less than the batched step itself.
+    assert overhead < 2.0, report

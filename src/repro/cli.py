@@ -6,6 +6,8 @@ Usage::
     ect-hub run table2 [--scale 1.0] [--seed 0] [--out results.json]
     ect-hub run-all [--scale 0.5] [--out results.json]
     ect-hub fleet --n-hubs 200 [--days 14] [--scheduler rule-based]
+    ect-hub fleet --n-hubs 200 --n-feeders 8 --feeder-capacity 400 \\
+        [--allocation proportional]
 
 ``--out PATH`` persists the experiment ``data`` dicts as JSON so results
 can be diffed across runs and PRs.
@@ -20,6 +22,7 @@ from .errors import ReproError
 from .experiments import available_experiments, run_experiment
 from .experiments.base import write_results_json
 from .experiments.fleet_sim import run as run_fleet
+from .fleet.grid import ALLOCATION_POLICIES
 from .fleet.schedulers import FLEET_SCHEDULERS
 
 
@@ -51,6 +54,24 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--days", type=int, default=None)
     fleet_p.add_argument(
         "--scheduler", choices=sorted(FLEET_SCHEDULERS), default="rule-based"
+    )
+    fleet_p.add_argument(
+        "--n-feeders",
+        type=int,
+        default=1,
+        help="feeders hubs are round-robined over (shared-grid coupling)",
+    )
+    fleet_p.add_argument(
+        "--feeder-capacity",
+        type=float,
+        default=None,
+        help="per-feeder import capacity in kW (default: unlimited/uncoupled)",
+    )
+    fleet_p.add_argument(
+        "--allocation",
+        choices=list(ALLOCATION_POLICIES),
+        default="proportional",
+        help="contention policy when a feeder limit binds",
     )
     fleet_p.add_argument("--scale", type=float, default=1.0)
     fleet_p.add_argument("--seed", type=int, default=0)
@@ -96,6 +117,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             n_hubs=args.n_hubs,
             days=args.days,
             scheduler=args.scheduler,
+            n_feeders=args.n_feeders,
+            feeder_capacity_kw=args.feeder_capacity,
+            allocation=args.allocation,
         )
         print(result.rendered())
         if args.out:

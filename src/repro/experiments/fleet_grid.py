@@ -1,0 +1,115 @@
+"""``fleet-grid`` — feeder congestion sweep over the coupled fleet engine.
+
+The city-scale question the shared-grid coupling opens: how does network
+economics degrade as the feeders hubs hang off get tighter? The sweep
+first measures the fleet's uncongested per-feeder peak draw, then re-runs
+the same fleet with feeder capacity set to shrinking fractions of that
+peak, reporting profit, curtailed import, unserved energy, and congested
+feeder-slots at each level — for both allocation policies at the tightest
+level. Exposed on the CLI as ``ect-hub run fleet-grid``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fleet import FleetRuleBasedScheduler, build_default_fleet
+from .base import ExperimentResult, scaled
+
+#: Fleet shape at scale=1.
+DEFAULT_N_HUBS = 24
+DEFAULT_DAYS = 7
+N_FEEDERS = 4
+
+#: Feeder capacity as a fraction of the uncongested per-feeder peak draw.
+CAPACITY_FRACTIONS = (1.01, 0.8, 0.6, 0.4)
+
+#: Blackout intensity matching the ``fleet`` experiment.
+OUTAGE_PROBABILITY = 0.001
+
+
+def _run_fleet(n_hubs, days, seed, capacity_kw, allocation):
+    _, sim = build_default_fleet(
+        n_hubs,
+        n_days=days,
+        seed=seed,
+        outage_probability=OUTAGE_PROBABILITY,
+        n_feeders=N_FEEDERS,
+        feeder_capacity_kw=capacity_kw,
+        allocation=allocation,
+    )
+    return sim.run(FleetRuleBasedScheduler())
+
+
+def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Sweep feeder capacity from uncongested to heavily congested."""
+    n_hubs = scaled(DEFAULT_N_HUBS, scale, minimum=N_FEEDERS)
+    days = scaled(DEFAULT_DAYS, scale, minimum=3)
+
+    # Reference: same feeder topology, unlimited capacity.
+    reference = _run_fleet(n_hubs, days, seed, np.inf, "proportional")
+    peak_kw = float(reference.feeder_peak_import_kw.max())
+
+    sweep = []
+    for fraction in CAPACITY_FRACTIONS:
+        capacity = fraction * peak_kw
+        book = _run_fleet(n_hubs, days, seed, capacity, "proportional")
+        sweep.append(
+            {
+                "capacity_fraction": fraction,
+                "feeder_capacity_kw": capacity,
+                "network_profit": book.profit,
+                "import_shortfall_kwh": book.total_import_shortfall_kwh,
+                "unserved_kwh": book.total_unserved_kwh,
+                "congested_feeder_slots": book.congested_feeder_slots,
+                "feeder_shortfall_kwh": book.feeder_shortfall_kwh,
+            }
+        )
+
+    # Allocation-policy contrast at the tightest level.
+    tight_kw = CAPACITY_FRACTIONS[-1] * peak_kw
+    priority = _run_fleet(n_hubs, days, seed, tight_kw, "priority")
+
+    data = {
+        "n_hubs": n_hubs,
+        "days": days,
+        "n_feeders": N_FEEDERS,
+        "uncongested_profit": reference.profit,
+        "uncongested_peak_feeder_kw": peak_kw,
+        "sweep": sweep,
+        "priority_at_tightest": {
+            "network_profit": priority.profit,
+            "import_shortfall_kwh": priority.total_import_shortfall_kwh,
+            "unserved_kwh": priority.total_unserved_kwh,
+        },
+    }
+
+    lines = [
+        f"fleet of {n_hubs} hubs x {days} days on {N_FEEDERS} shared feeders",
+        f"uncongested: profit ${reference.profit:,.0f}, "
+        f"peak feeder draw {peak_kw:,.1f} kW",
+        "capacity    profit      curtailed     unserved   congested slots",
+    ]
+    for row in sweep:
+        lines.append(
+            f"  {row['capacity_fraction']:>4.0%}   ${row['network_profit']:>10,.0f}  "
+            f"{row['import_shortfall_kwh']:>9,.1f} kWh  "
+            f"{row['unserved_kwh']:>8,.1f} kWh   {row['congested_feeder_slots']:>6d}"
+        )
+    lines.append(
+        f"priority allocation @ {CAPACITY_FRACTIONS[-1]:.0%}: profit "
+        f"${priority.profit:,.0f}, curtailed "
+        f"{priority.total_import_shortfall_kwh:,.1f} kWh"
+    )
+    lines.append(
+        "note: Eq. 12 profit does not monetize unserved energy, so deep "
+        "congestion can *raise* profit while reliability (unserved kWh) "
+        "collapses — read the two columns together"
+    )
+
+    return ExperimentResult(
+        experiment_id="fleet-grid",
+        title="Feeder congestion sweep (shared-grid coupling)",
+        data=data,
+        lines=lines,
+    )

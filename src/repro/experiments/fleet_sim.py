@@ -32,8 +32,16 @@ def run(
     n_hubs: int | None = None,
     days: int | None = None,
     scheduler: str = "rule-based",
+    n_feeders: int = 1,
+    feeder_capacity_kw: float | None = None,
+    allocation: str = "proportional",
 ) -> ExperimentResult:
-    """Batch-simulate a fleet and aggregate per-hub + network economics."""
+    """Batch-simulate a fleet and aggregate per-hub + network economics.
+
+    ``feeder_capacity_kw`` enables shared-grid coupling (see
+    :class:`~repro.fleet.FeederGroup`); the default is the uncoupled
+    one-infinite-feeder fleet.
+    """
     n_hubs = n_hubs if n_hubs is not None else scaled(DEFAULT_N_HUBS, scale, minimum=4)
     days = days if days is not None else scaled(DEFAULT_DAYS, scale, minimum=7)
 
@@ -42,6 +50,9 @@ def run(
         n_days=days,
         seed=seed,
         outage_probability=DEFAULT_OUTAGE_PROBABILITY,
+        n_feeders=n_feeders,
+        feeder_capacity_kw=feeder_capacity_kw,
+        allocation=allocation,
     )
     sched = make_fleet_scheduler(
         scheduler, n_hubs=n_hubs, rng_factory=RngFactory(seed=seed)
@@ -59,6 +70,7 @@ def run(
 
     # Wall-clock throughput stays out of `data`: the --out JSON must be
     # deterministic so runs can be diffed across PRs (it is printed below).
+    coupled = feeder_capacity_kw is not None
     data = {
         "n_hubs": n_hubs,
         "days": days,
@@ -71,6 +83,15 @@ def run(
         "profit_per_hub": profit,
         "avg_daily_reward_per_hub": daily.mean(axis=1),
         "kinds": [s.site.kind for s in scenarios],
+        # Shared-grid coupling (zeros / infinities when uncoupled).
+        "n_feeders": sim.feeders.n_feeders,
+        "feeder_capacity_kw": feeder_capacity_kw,
+        "allocation": sim.feeders.policy,
+        "import_shortfall_kwh": book.total_import_shortfall_kwh,
+        "congested_feeder_slots": book.congested_feeder_slots,
+        "feeder_import_kwh": book.feeder_import_kwh,
+        "feeder_shortfall_kwh": book.feeder_shortfall_kwh,
+        "feeder_peak_import_kw": book.feeder_peak_import_kw,
     }
 
     lines = [
@@ -85,6 +106,13 @@ def run(
         f"median {np.median(daily.mean(axis=1)):.1f}  "
         f"max {daily.mean(axis=1).max():.1f}",
     ]
+    if coupled:
+        lines.append(
+            f"shared grid: {sim.feeders.n_feeders} feeders x "
+            f"{feeder_capacity_kw:,.0f} kW ({sim.feeders.policy}); curtailed "
+            f"{book.total_import_shortfall_kwh:,.1f} kWh over "
+            f"{book.congested_feeder_slots} congested feeder-slots"
+        )
     show = min(n_hubs, 12)
     for i in range(show):
         lines.append(

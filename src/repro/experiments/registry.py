@@ -15,6 +15,7 @@ from . import (
     fig11_strata,
     fig12_periods,
     fig13_hub_rewards,
+    fleet_grid,
     fleet_sim,
     table2_ect_price,
     table3_hub_daily,
@@ -37,6 +38,7 @@ RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
     "abl-cbp": ablations.run_cbp_sweep,
     "abl-loss": ablations.run_loss_forms,
     "fleet": fleet_sim.run,
+    "fleet-grid": fleet_grid.run,
 }
 
 

@@ -18,7 +18,13 @@ Layout
     Fleet-level cost book (per-hub arrays + network totals).
 ``schedulers``
     Vectorized idle / random / rule-based / greedy-renewable baselines,
-    action-equivalent to their scalar twins in :mod:`repro.rl.schedulers`.
+    action-equivalent to their scalar twins in :mod:`repro.rl.schedulers`
+    (rule-based/greedy additionally back off charges under feeder
+    congestion).
+``grid``
+    Shared-grid coupling: :class:`FeederGroup` assigns hubs to feeders
+    with finite per-slot import capacity; contention is resolved by
+    proportional or priority-ordered curtailment.
 ``builder``
     Assembly from :func:`~repro.synth.catalog.default_fleet` scenarios.
 """
@@ -30,7 +36,8 @@ from .builder import (
     fleet_simulation_from_scenarios,
 )
 from .costs import FleetCostBook
-from .inputs import FleetInputs
+from .grid import ALLOCATION_POLICIES, FeederGroup
+from .inputs import FleetInputs, SlotTraces
 from .params import FleetParams
 from .schedulers import (
     FLEET_SCHEDULERS,
@@ -44,7 +51,9 @@ from .schedulers import (
 from .simulation import FleetSimulation
 
 __all__ = [
+    "ALLOCATION_POLICIES",
     "FLEET_SCHEDULERS",
+    "FeederGroup",
     "FleetCostBook",
     "FleetGreedyRenewableScheduler",
     "FleetIdleScheduler",
@@ -54,6 +63,7 @@ __all__ = [
     "FleetRuleBasedScheduler",
     "FleetScheduler",
     "FleetSimulation",
+    "SlotTraces",
     "build_default_fleet",
     "fleet_inputs_from_scenarios",
     "fleet_params_from_scenarios",

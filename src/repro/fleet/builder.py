@@ -25,6 +25,7 @@ from ..hub.scenario import (
 from ..rng import RngFactory
 from ..synth.charging import ChargingBehaviorModel, ChargingConfig
 from ..units import HOURS_PER_DAY
+from .grid import FeederGroup
 from .inputs import FleetInputs
 from .params import FleetParams
 from .simulation import FleetSimulation
@@ -88,12 +89,14 @@ def fleet_simulation_from_scenarios(
     *,
     outage: np.ndarray | None = None,
     initial_soc_fraction: float | np.ndarray = 0.5,
+    feeders: FeederGroup | None = None,
 ) -> FleetSimulation:
     """Convenience: params + inputs + engine in one call."""
     return FleetSimulation(
         fleet_params_from_scenarios(scenarios),
         fleet_inputs_from_scenarios(scenarios, occupied, discount, outage=outage),
         initial_soc_fraction=initial_soc_fraction,
+        feeders=feeders,
     )
 
 
@@ -104,6 +107,9 @@ def build_default_fleet(
     seed: int = 0,
     outage_probability: float = 0.0,
     recovery_time_h: int = 4,
+    n_feeders: int = 1,
+    feeder_capacity_kw: float | None = None,
+    allocation: str = "proportional",
 ) -> tuple[list[HubScenario], FleetSimulation]:
     """A ready-to-run fleet over ``default_fleet`` sites.
 
@@ -112,11 +118,24 @@ def build_default_fleet(
     undiscounted baseline used by the scheduler studies), optionally
     samples per-hub blackout windows, and returns both the scenario list
     (for inspection / scalar-engine cross-checks) and the batched engine.
+
+    ``feeder_capacity_kw`` switches on shared-grid coupling: hubs are
+    round-robined over ``n_feeders`` feeders of that per-slot import
+    capacity, with contention resolved by ``allocation``
+    (``"proportional"`` or ``"priority"``). ``None`` keeps the capacity
+    unlimited — numerically the uncoupled engine — while still honouring
+    the requested feeder topology in the cost book's rollups.
     """
     if n_hubs <= 0:
         raise FleetError(f"n_hubs must be positive, got {n_hubs}")
     if n_days <= 0:
         raise FleetError(f"n_days must be positive, got {n_days}")
+    feeders = FeederGroup.uniform(
+        n_hubs,
+        n_feeders,
+        np.inf if feeder_capacity_kw is None else feeder_capacity_kw,
+        policy=allocation,
+    )
 
     factory = RngFactory(seed=seed)
     config = ScenarioConfig(
@@ -165,5 +184,6 @@ def build_default_fleet(
         occupied,
         np.zeros(config.n_hours),
         outage=outage,
+        feeders=feeders,
     )
     return scenarios, simulation

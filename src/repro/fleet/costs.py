@@ -6,6 +6,11 @@ column-wise, exposes the paper's aggregates both **per hub** (arrays) and
 for the whole **network** (scalars), and can reconstruct any single hub's
 :class:`~repro.hub.costs.CostBook` of :class:`~repro.hub.costs.SlotLedger`
 rows for interop with scalar-engine tooling.
+
+With shared-grid coupling the book also tracks the feeder dimension:
+``import_shortfall_kw`` records each hub's curtailed import, and the
+per-feeder aggregates (imports, shortfalls, peaks, congested slots) roll
+hub columns up by the :class:`~repro.fleet.grid.FeederGroup` assignment.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import numpy as np
 
 from ..errors import FleetError
 from ..hub.costs import CostBook, SlotLedger
+from .grid import FeederGroup
 
 
 class FleetCostBook:
@@ -34,12 +40,25 @@ class FleetCostBook:
         "bp_cost",
         "revenue",
         "unserved_kwh",
+        "import_shortfall_kw",
     )
 
-    def __init__(self, n_hubs: int, horizon: int) -> None:
+    def __init__(
+        self,
+        n_hubs: int,
+        horizon: int,
+        *,
+        feeders: FeederGroup | None = None,
+    ) -> None:
         if n_hubs <= 0 or horizon < 0:
             raise FleetError(
                 f"invalid fleet book shape ({n_hubs} hubs, {horizon} slots)"
+            )
+        self.feeders = feeders or FeederGroup.unlimited(n_hubs)
+        if self.feeders.n_hubs != n_hubs:
+            raise FleetError(
+                f"feeder group assigns {self.feeders.n_hubs} hubs but the "
+                f"book holds {n_hubs}"
             )
         self.n_hubs = n_hubs
         self.horizon = horizon
@@ -103,8 +122,59 @@ class FleetCostBook:
 
     @property
     def unserved_per_hub_kwh(self) -> np.ndarray:
-        """Blackout BS energy that could not be served, per hub."""
+        """Energy that could not be served (blackouts + feeder shortfalls)."""
         return self._recorded("unserved_kwh").sum(axis=1)
+
+    @property
+    def import_shortfall_per_hub_kwh(self) -> np.ndarray:
+        """Grid import curtailed by feeder limits, per hub (1 h slots)."""
+        return self._recorded("import_shortfall_kw").sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Per-feeder congestion aggregates                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_feeders(self) -> int:
+        """Number of feeders the fleet hangs off."""
+        return self.feeders.n_feeders
+
+    def _per_feeder_slots(self, name: str) -> np.ndarray:
+        """Roll a hub column up to ``(n_feeders, n_recorded)``."""
+        rolled = np.zeros((self.feeders.n_feeders, self._n_recorded))
+        np.add.at(rolled, self.feeders.assignment, self._recorded(name))
+        return rolled
+
+    def feeder_import_kw(self) -> np.ndarray:
+        """Granted feeder draw per slot, shape ``(n_feeders, n_recorded)``."""
+        return self._per_feeder_slots("p_grid_kw")
+
+    def feeder_shortfall_kw(self) -> np.ndarray:
+        """Curtailed feeder draw per slot, shape ``(n_feeders, n_recorded)``."""
+        return self._per_feeder_slots("import_shortfall_kw")
+
+    @property
+    def feeder_import_kwh(self) -> np.ndarray:
+        """Imported energy per feeder (uniform 1 h slots)."""
+        return self.feeder_import_kw().sum(axis=1)
+
+    @property
+    def feeder_shortfall_kwh(self) -> np.ndarray:
+        """Curtailed import energy per feeder (uniform 1 h slots)."""
+        return self.feeder_shortfall_kw().sum(axis=1)
+
+    @property
+    def feeder_peak_import_kw(self) -> np.ndarray:
+        """Worst-slot granted draw per feeder."""
+        imports = self.feeder_import_kw()
+        if imports.shape[1] == 0:
+            return np.zeros(self.feeders.n_feeders)
+        return imports.max(axis=1)
+
+    @property
+    def congested_feeder_slots(self) -> int:
+        """Feeder-slots where the import limit curtailed somebody."""
+        return int((self.feeder_shortfall_kw() > 0.0).sum())
 
     # ------------------------------------------------------------------ #
     # Network totals                                                       #
@@ -127,8 +197,13 @@ class FleetCostBook:
 
     @property
     def total_unserved_kwh(self) -> float:
-        """Network blackout energy shortfall."""
+        """Network energy shortfall (blackouts + feeder curtailment)."""
         return float(self.unserved_per_hub_kwh.sum())
+
+    @property
+    def total_import_shortfall_kwh(self) -> float:
+        """Network grid import curtailed by feeder limits."""
+        return float(self.import_shortfall_per_hub_kwh.sum())
 
     def daily_rewards(self, slots_per_day: int = 24) -> np.ndarray:
         """Eq. 12 profit per (hub, day) — shape ``(n_hubs, n_days)``."""

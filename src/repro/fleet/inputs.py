@@ -11,7 +11,7 @@ engine — the equivalence tests lean on that round trip.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
@@ -26,6 +26,17 @@ _TRACE_NAMES = (
     "occupied",
     "discount",
 )
+
+
+class SlotTraces(NamedTuple):
+    """One slot's exogenous columns, each shaped ``(n_hubs,)``."""
+
+    load_rate: np.ndarray
+    rtp_kwh: np.ndarray
+    pv_power_kw: np.ndarray
+    wt_power_kw: np.ndarray
+    occupied: np.ndarray
+    discount: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -74,6 +85,19 @@ class FleetInputs:
     def horizon(self) -> int:
         """Number of slots per hub."""
         return int(self.load_rate.shape[1])
+
+    def slot(self, t: int) -> SlotTraces:
+        """All six trace columns at slot ``t`` — the engine's per-step view."""
+        if not 0 <= t < self.horizon:
+            raise FleetError(f"slot {t} out of range for horizon {self.horizon}")
+        return SlotTraces(
+            load_rate=self.load_rate[:, t],
+            rtp_kwh=self.rtp_kwh[:, t],
+            pv_power_kw=self.pv_power_kw[:, t],
+            wt_power_kw=self.wt_power_kw[:, t],
+            occupied=self.occupied[:, t],
+            discount=self.discount[:, t],
+        )
 
     def outage_mask(self) -> np.ndarray:
         """Boolean ``(n_hubs, horizon)`` blackout mask (all-False when None)."""

@@ -68,6 +68,21 @@ class FleetParams:
         """Number of hubs in the fleet."""
         return int(self.capacity_kwh.shape[0])
 
+    def bs_power_kw(self, load_rate: np.ndarray) -> np.ndarray:
+        """Eq. 1 cluster draw per hub for load fractions ``load_rate``.
+
+        One shared definition for the engine, the greedy scheduler, and
+        the feeder congestion signal, so every consumer prices the BS load
+        with bit-identical arithmetic.
+        """
+        return self.n_base_stations * (
+            self.bs_p_min_kw + load_rate * (self.bs_p_max_kw - self.bs_p_min_kw)
+        )
+
+    def cs_power_kw(self, occupied: np.ndarray) -> np.ndarray:
+        """Eq. 2 charging-station draw per hub for occupancy ``occupied``."""
+        return occupied * self.cs_rate_kw
+
     @classmethod
     def from_hub_configs(cls, configs: Sequence[HubConfig]) -> "FleetParams":
         """Stack validated :class:`HubConfig` objects into parameter arrays.

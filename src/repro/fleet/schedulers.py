@@ -13,6 +13,12 @@ whole scheduled runs between the two engines:
 
 The protocol is ``scheduler(sim) -> (n_hubs,) actions`` plus an optional
 ``reset(sim)`` hook that :meth:`FleetSimulation.run` invokes once.
+
+Rule-based and greedy are **congestion-aware**: before committing to a
+charge they consult :meth:`FleetSimulation.available_import_kw` — the
+per-hub fair share of remaining feeder capacity — and fall back to IDLE
+where the battery's extra import would not fit. On an uncoupled fleet the
+signal is infinite, so the actions stay identical to the scalar twins.
 """
 
 from __future__ import annotations
@@ -37,6 +43,36 @@ class FleetScheduler:
 
     def reset(self, sim: FleetSimulation) -> None:
         """Hook for per-run state (thresholds, pre-drawn actions)."""
+
+
+def suppress_infeasible_charges(
+    sim: FleetSimulation, actions: np.ndarray
+) -> np.ndarray:
+    """Turn CHARGE into IDLE where the feeder headroom cannot carry it.
+
+    A hub's charge adds ``charge_rate_kw`` of bus load; what on-site
+    renewable surplus cannot cover must be imported. Where that extra
+    import exceeds the hub's fair share of remaining feeder capacity
+    (:meth:`FleetSimulation.available_import_kw`), the charge is dropped.
+    Free no-op on uncoupled fleets, so the PR-1 scheduler throughput and
+    action streams are untouched there.
+    """
+    if sim.feeders.is_unlimited:
+        return actions
+    available = sim.available_import_kw()
+    slot = sim.inputs.slot(sim.t)
+    params = sim.params
+    onsite_surplus = np.maximum(
+        slot.pv_power_kw
+        + slot.wt_power_kw
+        - params.bs_power_kw(slot.load_rate)
+        - params.cs_power_kw(slot.occupied),
+        0.0,
+    )
+    extra_import = np.maximum(params.charge_rate_kw - onsite_surplus, 0.0)
+    return np.where(
+        (actions == CHARGE) & (extra_import > available), IDLE, actions
+    )
 
 
 class FleetIdleScheduler(FleetScheduler):
@@ -103,6 +139,7 @@ class FleetRuleBasedScheduler(FleetScheduler):
         *,
         cheap_quantile: float = 0.3,
         expensive_quantile: float = 0.7,
+        congestion_aware: bool = True,
     ) -> None:
         if not 0.0 < cheap_quantile < expensive_quantile < 1.0:
             raise ConfigError(
@@ -111,6 +148,7 @@ class FleetRuleBasedScheduler(FleetScheduler):
             )
         self.cheap_quantile = cheap_quantile
         self.expensive_quantile = expensive_quantile
+        self.congestion_aware = congestion_aware
         self._cheap: np.ndarray | None = None
         self._expensive: np.ndarray | None = None
 
@@ -129,11 +167,14 @@ class FleetRuleBasedScheduler(FleetScheduler):
         if self._cheap is None or self._expensive is None:
             self.reset(sim)
         price = sim.inputs.rtp_kwh[:, sim.t]
-        return np.where(
+        actions = np.where(
             price <= self._cheap,
             CHARGE,
             np.where(price >= self._expensive, DISCHARGE, IDLE),
         )
+        if self.congestion_aware:
+            actions = suppress_infeasible_charges(sim, actions)
+        return actions
 
 
 class FleetGreedyRenewableScheduler(FleetScheduler):
@@ -141,12 +182,15 @@ class FleetGreedyRenewableScheduler(FleetScheduler):
 
     name = "greedy-renewable"
 
-    def __init__(self, *, expensive_quantile: float = 0.75) -> None:
+    def __init__(
+        self, *, expensive_quantile: float = 0.75, congestion_aware: bool = True
+    ) -> None:
         if not 0.0 < expensive_quantile < 1.0:
             raise ConfigError(
                 f"expensive_quantile must be in (0, 1), got {expensive_quantile}"
             )
         self.expensive_quantile = expensive_quantile
+        self.congestion_aware = congestion_aware
         self._threshold: np.ndarray | None = None
 
     def reset(self, sim: FleetSimulation) -> None:
@@ -161,17 +205,16 @@ class FleetGreedyRenewableScheduler(FleetScheduler):
         if self._threshold is None:
             self.reset(sim)
         t = sim.t
-        params = sim.params
         renewables = sim.inputs.pv_power_kw[:, t] + sim.inputs.wt_power_kw[:, t]
-        alpha = sim.inputs.load_rate[:, t]
-        bs_load = params.n_base_stations * (
-            params.bs_p_min_kw + alpha * (params.bs_p_max_kw - params.bs_p_min_kw)
-        )
-        return np.where(
+        bs_load = sim.params.bs_power_kw(sim.inputs.load_rate[:, t])
+        actions = np.where(
             renewables > bs_load,
             CHARGE,
             np.where(sim.inputs.rtp_kwh[:, t] >= self._threshold, DISCHARGE, IDLE),
         )
+        if self.congestion_aware:
+            actions = suppress_infeasible_charges(sim, actions)
+        return actions
 
 
 #: Scheduler-name registry used by the fleet experiment / CLI.

@@ -13,6 +13,15 @@ Every expression mirrors the scalar engine's order of operations
 ``EctHub.power_balance``, ``compute_slot_ledger``), so a batched run is
 numerically equivalent to N independent scalar runs; the property-style
 test in ``tests/test_fleet.py`` enforces agreement within atol 1e-9.
+
+Shared-grid coupling: hubs may be grouped onto common feeders with finite
+import capacity (:class:`~repro.fleet.grid.FeederGroup`). After the
+per-hub balance is resolved, the feeder allocation step curtails imports
+wherever a group's aggregate draw exceeds its limit; the curtailed
+energy is served from the Eq. 6 battery reserve (the same arithmetic as a
+blackout slot) and whatever the reserve cannot cover is booked as
+unserved. Under the default unlimited feeder the coupled step is
+bit-identical to the uncoupled one.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ import numpy as np
 from ..energy.battery import CHARGE, DISCHARGE, IDLE
 from ..errors import ConfigError, FleetError, GridError
 from .costs import FleetCostBook
+from .grid import FeederGroup
 from .inputs import FleetInputs
 from .params import FleetParams
 
@@ -38,6 +48,7 @@ class FleetSimulation:
         inputs: FleetInputs,
         *,
         initial_soc_fraction: float | np.ndarray = 0.5,
+        feeders: FeederGroup | None = None,
     ) -> None:
         if params.n_hubs != inputs.n_hubs:
             raise FleetError(
@@ -46,9 +57,23 @@ class FleetSimulation:
             )
         self.params = params
         self.inputs = inputs
+        self.feeders = feeders or FeederGroup.unlimited(params.n_hubs)
+        if self.feeders.n_hubs != params.n_hubs:
+            raise FleetError(
+                f"feeder group assigns {self.feeders.n_hubs} hubs but the "
+                f"fleet has {params.n_hubs}"
+            )
+        if self.feeders.horizon is not None and self.feeders.horizon != inputs.horizon:
+            raise FleetError(
+                f"feeder capacity horizon {self.feeders.horizon} does not "
+                f"match the input horizon {inputs.horizon}"
+            )
+        # Skip the allocation step entirely when no limit can ever bind, so
+        # the uncoupled default pays nothing for the coupling machinery.
+        self._coupled = not self.feeders.is_unlimited
         self._outage = inputs.outage_mask()
         self._initial_soc = self._as_soc_fraction(initial_soc_fraction)
-        self.book = FleetCostBook(params.n_hubs, inputs.horizon)
+        self.book = FleetCostBook(params.n_hubs, inputs.horizon, feeders=self.feeders)
         self._t = 0
         self.soc_kwh = self._reset_soc(self._initial_soc)
         self.throughput_kwh = np.zeros(params.n_hubs)
@@ -102,7 +127,9 @@ class FleetSimulation:
     def reset(self, *, soc_fraction: float | np.ndarray | None = None) -> None:
         """Rewind to slot 0 and reset batteries and the fleet cost book."""
         self._t = 0
-        self.book = FleetCostBook(self.params.n_hubs, self.inputs.horizon)
+        self.book = FleetCostBook(
+            self.params.n_hubs, self.inputs.horizon, feeders=self.feeders
+        )
         fractions = (
             self._initial_soc
             if soc_fraction is None
@@ -137,15 +164,12 @@ class FleetSimulation:
         blackout = self._outage[:, t]
 
         # Shared per-slot quantities (same formulas as the scalar engine).
-        alpha = self.inputs.load_rate[:, t]
-        p_bs = params.n_base_stations * (
-            params.bs_p_min_kw + alpha * (params.bs_p_max_kw - params.bs_p_min_kw)
-        )
-        rtp = self.inputs.rtp_kwh[:, t]
-        discount = self.inputs.discount[:, t]
-        srtp = params.cs_base_price_kwh * (1.0 - discount)
-        p_pv = self.inputs.pv_power_kw[:, t]
-        p_wt = self.inputs.wt_power_kw[:, t]
+        slot = self.inputs.slot(t)
+        p_bs = params.bs_power_kw(slot.load_rate)
+        rtp = slot.rtp_kwh
+        srtp = params.cs_base_price_kwh * (1.0 - slot.discount)
+        p_pv = slot.pv_power_kw
+        p_wt = slot.wt_power_kw
 
         normal = self._normal_branch(actions, p_bs, p_pv, p_wt, t, dt)
         dark = self._blackout_branch(p_bs, p_pv, p_wt, dt)
@@ -157,12 +181,33 @@ class FleetSimulation:
         p_grid = np.where(blackout, 0.0, normal["p_grid_kw"])
         surplus = np.where(blackout, dark["surplus_kw"], normal["surplus_kw"])
         unserved = np.where(blackout, dark["unserved_kwh"], 0.0)
-        self.soc_kwh = np.where(blackout, dark["soc_kwh"], normal["soc_kwh"])
-        self.throughput_kwh = self.throughput_kwh + np.where(
+        soc = np.where(blackout, dark["soc_kwh"], normal["soc_kwh"])
+        throughput = np.where(
             blackout, dark["throughput_kwh"], normal["throughput_kwh"]
         )
 
+        # The per-hub interconnection limit applies to the *requested*
+        # import, before any feeder-level curtailment.
         self._check_import_limit(p_grid, blackout)
+
+        shortfall_kw = np.zeros(self.n_hubs)
+        if self._coupled:
+            # Resolve feeder contention; the curtailed import is served
+            # from the Eq. 6 reserve exactly like a blackout deficit
+            # (blackout hubs request 0 import, so they pass through).
+            p_grid, shortfall_kw = self.feeders.allocate(p_grid, t)
+            shortfall_kwh = shortfall_kw * dt
+            eta = np.where(params.paper_exact, 1.0, params.discharge_efficiency)
+            drawn = np.minimum(shortfall_kwh / eta, soc)
+            served_kwh = drawn * eta
+            p_bp = p_bp - np.where(drawn > 0.0, served_kwh / dt, 0.0)
+            soc = soc - drawn
+            throughput = throughput + drawn
+            # (x/η)·η can exceed x by one ulp — never book negative unserved.
+            unserved = unserved + np.maximum(shortfall_kwh - served_kwh, 0.0)
+
+        self.soc_kwh = soc
+        self.throughput_kwh = self.throughput_kwh + throughput
 
         columns = {
             "action": applied_action,
@@ -183,6 +228,7 @@ class FleetSimulation:
             * params.c_bp_per_slot,
             "revenue": p_cs * dt * srtp,
             "unserved_kwh": unserved,
+            "import_shortfall_kw": shortfall_kw,
         }
         self.book.record(t, **columns)
         self._t += 1
@@ -238,7 +284,7 @@ class FleetSimulation:
         new_soc = soc + stored - drawn
 
         # Eq. 7 (EctHub.power_balance): import the residual, curtail surplus.
-        p_cs = self.inputs.occupied[:, t] * params.cs_rate_kw
+        p_cs = params.cs_power_kw(self.inputs.occupied[:, t])
         residual = p_bs + p_cs + p_bp - p_pv - p_wt
         p_grid = np.where(residual >= 0.0, residual, 0.0)
         surplus = np.where(residual >= 0.0, 0.0, -residual)
@@ -277,6 +323,29 @@ class FleetSimulation:
             "throughput_kwh": drawn,
             "unserved_kwh": deficit_kwh - served_kwh,
         }
+
+    def available_import_kw(self) -> np.ndarray:
+        """Per-hub feeder headroom signal for the *current* slot.
+
+        Each hub's action-independent grid draw (BS + CS load net of
+        renewables, zero during a blackout) is charged against its feeder;
+        the remaining capacity is fair-shared over the feeder's members.
+        Congestion-aware schedulers charge only when the battery's extra
+        import fits this signal. Infinite under the unlimited default.
+        """
+        if self.done:
+            raise FleetError(f"fleet horizon of {self.horizon} slots exhausted")
+        t = self._t
+        slot = self.inputs.slot(t)
+        base = np.maximum(
+            self.params.bs_power_kw(slot.load_rate)
+            + self.params.cs_power_kw(slot.occupied)
+            - slot.pv_power_kw
+            - slot.wt_power_kw,
+            0.0,
+        )
+        base = np.where(self._outage[:, t], 0.0, base)
+        return self.feeders.available_import_kw(base, t)
 
     def _check_import_limit(self, p_grid: np.ndarray, blackout: np.ndarray) -> None:
         """GridConnection's interconnection-limit check, batched."""

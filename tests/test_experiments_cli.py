@@ -24,6 +24,7 @@ ALL_IDS = {
     "abl-cbp",
     "abl-loss",
     "fleet",
+    "fleet-grid",
 }
 
 

@@ -19,6 +19,7 @@ from repro.cli import main
 from repro.energy.battery import BatteryConfig, CHARGE, DISCHARGE, IDLE
 from repro.errors import ConfigError, DataError, FleetError
 from repro.fleet import (
+    FeederGroup,
     FleetInputs,
     FleetParams,
     FleetSimulation,
@@ -484,3 +485,318 @@ class TestFleetExperimentCli:
         payload = json.loads(out.read_text())
         assert payload["experiment_id"] == "fig5"
         assert "correlation" in payload["data"]
+
+
+# --------------------------------------------------------------------- #
+# Shared-grid coupling: FeederGroup model                                 #
+# --------------------------------------------------------------------- #
+
+
+class TestFeederGroup:
+    def test_unlimited_is_passthrough(self):
+        feeders = FeederGroup.unlimited(3)
+        assert feeders.is_unlimited and feeders.n_feeders == 1
+        demand = np.array([4.0, 0.0, 9.5])
+        granted, shortfall = feeders.allocate(demand, 0)
+        np.testing.assert_array_equal(granted, demand)
+        np.testing.assert_array_equal(shortfall, np.zeros(3))
+        assert np.isinf(feeders.available_import_kw(demand, 0)).all()
+
+    def test_uniform_round_robin(self):
+        feeders = FeederGroup.uniform(5, 2, 100.0)
+        np.testing.assert_array_equal(feeders.assignment, [0, 1, 0, 1, 0])
+        np.testing.assert_array_equal(feeders.members, [3, 2])
+        assert not feeders.is_unlimited
+
+    def test_proportional_allocation(self):
+        feeders = FeederGroup(
+            assignment=np.array([0, 0, 1]),
+            import_capacity_kw=np.array([10.0, np.inf]),
+        )
+        granted, shortfall = feeders.allocate(np.array([8.0, 8.0, 5.0]), 0)
+        np.testing.assert_allclose(granted, [5.0, 5.0, 5.0])
+        np.testing.assert_allclose(shortfall, [3.0, 3.0, 0.0])
+
+    def test_priority_allocation(self):
+        feeders = FeederGroup(
+            assignment=np.zeros(3, dtype=int),
+            import_capacity_kw=np.array([7.0]),
+            policy="priority",
+            priority=np.array([1.0, 3.0, 2.0]),
+        )
+        granted, shortfall = feeders.allocate(np.array([5.0, 5.0, 5.0]), 0)
+        # Highest priority served first, then the next, then nothing left.
+        np.testing.assert_allclose(granted, [0.0, 5.0, 2.0])
+        np.testing.assert_allclose(shortfall, [5.0, 0.0, 3.0])
+
+    def test_priority_ties_break_by_hub_index(self):
+        feeders = FeederGroup(
+            assignment=np.zeros(2, dtype=int),
+            import_capacity_kw=np.array([4.0]),
+            policy="priority",
+        )
+        granted, _ = feeders.allocate(np.array([3.0, 3.0]), 0)
+        np.testing.assert_allclose(granted, [3.0, 1.0])
+
+    def test_per_slot_capacity(self):
+        feeders = FeederGroup(
+            assignment=np.zeros(1, dtype=int),
+            import_capacity_kw=np.array([[10.0, 2.0]]),
+        )
+        assert feeders.horizon == 2
+        np.testing.assert_allclose(feeders.allocate(np.array([3.0]), 0)[0], [3.0])
+        np.testing.assert_allclose(feeders.allocate(np.array([3.0]), 1)[0], [2.0])
+        with pytest.raises(FleetError, match="horizon"):
+            feeders.capacity_at(2)
+
+    def test_available_import_fair_share(self):
+        feeders = FeederGroup(
+            assignment=np.array([0, 0, 1]),
+            import_capacity_kw=np.array([10.0, 1.0]),
+        )
+        available = feeders.available_import_kw(np.array([4.0, 2.0, 5.0]), 0)
+        np.testing.assert_allclose(available, [2.0, 2.0, 0.0])
+
+    def test_validation_errors(self):
+        with pytest.raises(FleetError, match="assignment"):
+            FeederGroup(
+                assignment=np.array([0, 2]),
+                import_capacity_kw=np.array([1.0]),
+            )
+        with pytest.raises(FleetError, match="non-negative"):
+            FeederGroup(
+                assignment=np.array([0]),
+                import_capacity_kw=np.array([-1.0]),
+            )
+        with pytest.raises(FleetError, match="NaN"):
+            FeederGroup(
+                assignment=np.array([0]),
+                import_capacity_kw=np.array([np.nan]),
+            )
+        with pytest.raises(FleetError, match="policy"):
+            FeederGroup(
+                assignment=np.array([0]),
+                import_capacity_kw=np.array([1.0]),
+                policy="auction",
+            )
+        with pytest.raises(FleetError, match="priority"):
+            FeederGroup(
+                assignment=np.array([0, 0]),
+                import_capacity_kw=np.array([1.0]),
+                policy="priority",
+                priority=np.array([1.0, -2.0]),
+            )
+        with pytest.raises(FleetError, match="empty"):
+            FeederGroup.uniform(2, 3, 10.0)
+
+    def test_simulation_rejects_mismatched_feeders(self):
+        params = FleetParams.from_hub_configs([small_hub_config()])
+        fleet = FleetInputs.from_hub_inputs([flat_inputs(4)])
+        with pytest.raises(FleetError, match="feeder group"):
+            FleetSimulation(params, fleet, feeders=FeederGroup.unlimited(2))
+        with pytest.raises(FleetError, match="capacity horizon"):
+            FleetSimulation(
+                params,
+                fleet,
+                feeders=FeederGroup(
+                    assignment=np.zeros(1, dtype=int),
+                    import_capacity_kw=np.full((1, 3), 5.0),
+                ),
+            )
+
+
+# --------------------------------------------------------------------- #
+# Coupled engine with unlimited capacity == uncoupled engine              #
+# --------------------------------------------------------------------- #
+
+
+def seeded_fleet_inputs(n_hubs: int, horizon: int, seed: int) -> FleetInputs:
+    """Diverse random-but-valid traces, including a few blackout slots."""
+    rng = np.random.default_rng(seed)
+    return FleetInputs(
+        load_rate=rng.uniform(0.0, 1.0, (n_hubs, horizon)),
+        rtp_kwh=rng.uniform(0.05, 0.6, (n_hubs, horizon)),
+        pv_power_kw=rng.uniform(0.0, 8.0, (n_hubs, horizon)),
+        wt_power_kw=rng.uniform(0.0, 5.0, (n_hubs, horizon)),
+        occupied=rng.integers(0, 2, (n_hubs, horizon)),
+        discount=rng.uniform(0.0, 0.5, (n_hubs, horizon)),
+        outage=rng.random((n_hubs, horizon)) < 0.03,
+    )
+
+
+def assert_fleet_books_identical(one, two, atol=ATOL):
+    """Every recorded column agrees slot-for-slot."""
+    np.testing.assert_array_equal(one.action, two.action)
+    np.testing.assert_array_equal(one.blackout, two.blackout)
+    for name in one._FLOAT_COLUMNS:
+        np.testing.assert_allclose(
+            getattr(one, name), getattr(two, name), rtol=0, atol=atol, err_msg=name
+        )
+
+
+def scheduler_by_name(name: str, n_hubs: int):
+    if name == "random":
+        return FleetRandomScheduler.from_factory(RngFactory(seed=17), n_hubs)
+    return make_fleet_scheduler(name, n_hubs=n_hubs)
+
+
+class TestCoupledUnlimitedEquivalence:
+    """Satellite: unlimited-capacity coupling changes nothing, slot-for-slot."""
+
+    N_HUBS = 8
+    HORIZON = 72
+
+    @pytest.mark.parametrize("paper_exact", [False, True])
+    @pytest.mark.parametrize(
+        "scheduler_name", ["idle", "random", "rule-based", "greedy-renewable"]
+    )
+    def test_matches_uncoupled_slot_for_slot(self, scheduler_name, paper_exact):
+        configs = [
+            small_hub_config(paper_exact=paper_exact) for _ in range(self.N_HUBS)
+        ]
+        params = FleetParams.from_hub_configs(configs)
+        inputs = seeded_fleet_inputs(self.N_HUBS, self.HORIZON, seed=5)
+
+        uncoupled = FleetSimulation(params, inputs)
+        baseline = uncoupled.run(scheduler_by_name(scheduler_name, self.N_HUBS))
+
+        # Finite-but-huge capacity exercises the full allocation path.
+        for capacity in (np.inf, 1e12):
+            coupled = FleetSimulation(
+                params,
+                inputs,
+                feeders=FeederGroup.uniform(self.N_HUBS, 3, capacity),
+            )
+            book = coupled.run(scheduler_by_name(scheduler_name, self.N_HUBS))
+            assert_fleet_books_identical(baseline, book)
+            assert book.total_import_shortfall_kwh == 0.0
+            assert book.congested_feeder_slots == 0
+
+
+# --------------------------------------------------------------------- #
+# Congestion behaviour under binding feeder limits                        #
+# --------------------------------------------------------------------- #
+
+
+class TestCongestion:
+    @pytest.fixture(scope="class")
+    def congested_case(self):
+        """A fleet whose 3 feeders are capped at half the uncongested peak."""
+        _, free = build_default_fleet(12, n_days=7, seed=3, outage_probability=0.01)
+        free_book = free.run(FleetRuleBasedScheduler())
+        peak = float(free_book.feeder_import_kw().max())
+        capacity = peak / 3 * 0.5
+        _, sim = build_default_fleet(
+            12,
+            n_days=7,
+            seed=3,
+            outage_probability=0.01,
+            n_feeders=3,
+            feeder_capacity_kw=capacity,
+        )
+        book = sim.run(FleetRuleBasedScheduler())
+        return free_book, sim, book, capacity
+
+    def test_congestion_is_booked(self, congested_case):
+        free_book, sim, book, capacity = congested_case
+        assert book.total_import_shortfall_kwh > 0.0
+        assert book.total_unserved_kwh > 0.0
+        assert book.congested_feeder_slots > 0
+        assert (book.feeder_shortfall_kwh > 0.0).any()
+        # The unlimited run records no congestion anywhere.
+        assert free_book.total_import_shortfall_kwh == 0.0
+        assert free_book.congested_feeder_slots == 0
+
+    def test_feeder_imports_respect_capacity(self, congested_case):
+        _, sim, book, capacity = congested_case
+        assert (book.feeder_import_kw() <= capacity + 1e-9).all()
+        assert (book.feeder_peak_import_kw <= capacity + 1e-9).all()
+
+    def test_energy_balance_closes_under_curtailment(self, congested_case):
+        _, sim, book, _ = congested_case
+        dt = sim.params.dt_h
+        lhs = book.p_grid_kw + book.p_pv_kw + book.p_wt_kw + book.unserved_kwh / dt
+        rhs = book.p_bs_kw + book.p_cs_kw + book.p_bp_kw + book.surplus_kw
+        np.testing.assert_allclose(lhs, rhs, rtol=0, atol=1e-9)
+
+    def test_grid_cost_prices_granted_import_only(self, congested_case):
+        _, sim, book, _ = congested_case
+        np.testing.assert_allclose(
+            book.grid_cost, book.p_grid_kw * book.rtp_kwh, rtol=0, atol=1e-9
+        )
+
+    def test_congestion_aware_scheduler_sheds_charges(self):
+        _, free = build_default_fleet(12, n_days=7, seed=3)
+        peak = float(free.run(FleetRuleBasedScheduler()).feeder_import_kw().max())
+        builds = {}
+        for aware in (True, False):
+            _, sim = build_default_fleet(
+                12, n_days=7, seed=3, n_feeders=3, feeder_capacity_kw=peak / 3 * 0.8
+            )
+            builds[aware] = sim.run(
+                FleetRuleBasedScheduler(congestion_aware=aware)
+            )
+        aware_book, naive_book = builds[True], builds[False]
+        assert (aware_book.action == CHARGE).sum() < (naive_book.action == CHARGE).sum()
+        assert (
+            aware_book.total_import_shortfall_kwh
+            <= naive_book.total_import_shortfall_kwh
+        )
+
+    def test_priority_hub_served_first(self):
+        # One feeder, two identical hubs, idle batteries, no renewables:
+        # each hub demands its BS load every slot; capacity fits 1.5 hubs.
+        configs = [small_hub_config(), small_hub_config()]
+        params = FleetParams.from_hub_configs(configs)
+        inputs = FleetInputs.from_hub_inputs([flat_inputs(6), flat_inputs(6)])
+        p_bs = float(params.bs_power_kw(np.zeros(2))[0])
+        feeders = FeederGroup(
+            assignment=np.zeros(2, dtype=int),
+            import_capacity_kw=np.array([1.5 * p_bs]),
+            policy="priority",
+            priority=np.array([1.0, 10.0]),
+        )
+        sim = FleetSimulation(params, inputs, feeders=feeders)
+        book = sim.run(FleetIdleScheduler())
+        np.testing.assert_allclose(book.p_grid_kw[1], np.full(6, p_bs))
+        np.testing.assert_allclose(book.p_grid_kw[0], np.full(6, 0.5 * p_bs))
+
+    def test_cli_feeder_flags(self, tmp_path):
+        out = tmp_path / "coupled.json"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--n-hubs",
+                    "6",
+                    "--days",
+                    "7",
+                    "--n-feeders",
+                    "2",
+                    "--feeder-capacity",
+                    "120",
+                    "--allocation",
+                    "priority",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["data"]["n_feeders"] == 2
+        assert payload["data"]["allocation"] == "priority"
+        assert payload["data"]["import_shortfall_kwh"] >= 0.0
+        assert len(payload["data"]["feeder_import_kwh"]) == 2
+
+    def test_fleet_grid_experiment_runs(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("fleet-grid", scale=0.3)
+        sweep = result.data["sweep"]
+        assert len(sweep) == 4
+        # Tightest capacity shows congestion; near-peak shows none.
+        assert sweep[-1]["import_shortfall_kwh"] > 0.0
+        assert sweep[0]["import_shortfall_kwh"] == 0.0
+        again = run_experiment("fleet-grid", scale=0.3)
+        assert result.to_json_dict() == again.to_json_dict()
