@@ -1,0 +1,18 @@
+"""Bench: regenerate the ``fleet-grid`` congestion sweep report.
+
+Also guards the value-of-lost-load semantics: with unserved energy
+charged at VoLL, the deeply-congested end of the sweep must earn *less*
+than the uncongested fleet (before VoLL, skipping refused grid purchases
+made deep congestion look profitable).
+"""
+
+from conftest import bench_scale
+
+
+def test_bench_fleet_grid(run_artifact):
+    result = run_artifact("fleet-grid", scale=bench_scale(1.0))
+    data = result.data
+    tightest = data["sweep"][-1]
+    assert tightest["unserved_kwh"] > 0.0, "sweep never got congested"
+    assert tightest["network_profit"] < data["uncongested_profit"]
+    assert data["priority_at_tightest"]["network_profit"] < data["uncongested_profit"]

@@ -22,8 +22,15 @@ Subpackages
     ECT-Price (CF-MTL causal pricing) and the OR/IPS/DR uplift baselines.
 ``repro.rl``
     ECT-DRL (PPO battery scheduling), baseline schedulers, DP oracle.
+``repro.spec``
+    Declarative scenario layer: serializable ``ScenarioSpec`` trees,
+    named presets, sweep grids, and the compiler down to the engines.
 ``repro.experiments``
     One runner per paper table/figure plus ablations.
+
+Top-level modules: ``repro.api`` is the scenario facade
+(``api.run("congested-city")``); ``repro.config`` the dataclass
+serialization plumbing every spec builds on.
 """
 
 __version__ = "0.1.0"

@@ -1,0 +1,158 @@
+"""The scenario facade: build, run, and sweep specs in three calls.
+
+>>> from repro import api
+>>> result = api.run("paper-default")            # a named preset
+>>> result = api.run(api.load_spec("city.json"))  # a spec file
+>>> compiled = api.build(spec)                    # engines, not yet run
+
+``run`` compiles a :class:`~repro.spec.scenario.ScenarioSpec` (or preset
+name) into the batched fleet engine, runs the spec'd scheduler over the
+horizon, and returns the same :class:`~repro.experiments.base.
+ExperimentResult` shape the ``fleet`` experiment always produced — with
+the originating spec embedded under ``data["spec"]`` so every export is
+self-describing and replayable. ``run_sweep`` expands a
+:class:`~repro.spec.sweep.SweepSpec` and runs each job.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .errors import ConfigError
+from .experiments.base import ExperimentResult
+from .spec.compiler import CompiledScenario, build as _compile
+from .spec.presets import get_preset
+from .spec.scenario import ScenarioSpec
+from .spec.sweep import SweepSpec
+
+
+def load_spec(path: str | Path) -> ScenarioSpec:
+    """Load a :class:`ScenarioSpec` from a JSON file."""
+    return ScenarioSpec.load(path)
+
+
+def resolve_spec(spec: ScenarioSpec | str) -> ScenarioSpec:
+    """Accept a spec instance or a preset name."""
+    if isinstance(spec, ScenarioSpec):
+        return spec
+    if isinstance(spec, str):
+        return get_preset(spec)
+    raise ConfigError(
+        f"expected a ScenarioSpec or preset name, got {type(spec).__name__}"
+    )
+
+
+def build(spec: ScenarioSpec | str) -> CompiledScenario:
+    """Compile a spec (or preset name) into runnable engines."""
+    return _compile(resolve_spec(spec))
+
+
+def run(spec: ScenarioSpec | str) -> ExperimentResult:
+    """Compile and run a scenario, reporting per-hub + network economics."""
+    resolved = resolve_spec(spec)
+    compiled = _compile(resolved)
+    simulation = compiled.simulation
+    n_hubs, days = compiled.n_hubs, compiled.days
+
+    start = time.perf_counter()
+    book = compiled.execute()
+    elapsed = time.perf_counter() - start
+    hub_slots = n_hubs * simulation.horizon
+    throughput = hub_slots / elapsed if elapsed > 0 else float("inf")
+
+    profit = book.profit_per_hub
+    daily = book.daily_rewards()
+    blackout_slots = int(book.blackout.sum())
+    coupled = resolved.grid.feeder_capacity_kw is not None
+    voll = resolved.run.voll_per_kwh
+
+    # Wall-clock throughput stays out of `data`: the --out JSON must be
+    # deterministic so runs can be diffed across PRs (it is printed below).
+    data = {
+        "scenario": resolved.name,
+        "spec": resolved.to_dict(),
+        "n_hubs": n_hubs,
+        "days": days,
+        "scheduler": compiled.scheduler.name,
+        "network_profit": book.profit,
+        "network_operating_cost": book.operating_cost,
+        "network_charging_revenue": book.charging_revenue,
+        "network_voll_cost": book.voll_cost,
+        "network_unserved_kwh": book.total_unserved_kwh,
+        "blackout_slots": blackout_slots,
+        "profit_per_hub": profit,
+        "avg_daily_reward_per_hub": daily.mean(axis=1),
+        "kinds": [s.site.kind for s in compiled.scenarios],
+        # Shared-grid coupling (zeros / infinities when uncoupled).
+        "n_feeders": simulation.feeders.n_feeders,
+        "feeder_capacity_kw": resolved.grid.feeder_capacity_kw,
+        "allocation": simulation.feeders.policy,
+        "import_shortfall_kwh": book.total_import_shortfall_kwh,
+        "congested_feeder_slots": book.congested_feeder_slots,
+        "feeder_import_kwh": book.feeder_import_kwh,
+        "feeder_shortfall_kwh": book.feeder_shortfall_kwh,
+        "feeder_peak_import_kw": book.feeder_peak_import_kw,
+    }
+
+    lines = [
+        f"fleet of {n_hubs} hubs x {days} days, "
+        f"scheduler={compiled.scheduler.name}"
+        + (f", scenario={resolved.name}" if resolved.name != "fleet" else ""),
+        f"batched throughput {throughput:,.0f} hub-slots/sec "
+        f"({hub_slots} hub-slots in {elapsed:.3f}s)",
+        f"network profit ${book.profit:,.0f}  (revenue ${book.charging_revenue:,.0f}"
+        f" - operating ${book.operating_cost:,.0f}"
+        + (f" - lost-load ${book.voll_cost:,.0f}" if voll > 0 else "")
+        + ")",
+        f"blackout slots {blackout_slots}, unserved "
+        f"{book.total_unserved_kwh:.1f} kWh",
+        f"per-hub daily reward: min {daily.mean(axis=1).min():.1f}  "
+        f"median {np.median(daily.mean(axis=1)):.1f}  "
+        f"max {daily.mean(axis=1).max():.1f}",
+    ]
+    if coupled:
+        capacity = resolved.grid.feeder_capacity_kw
+        profile = " (profiled)" if resolved.grid.capacity_profile else ""
+        lines.append(
+            f"shared grid: {simulation.feeders.n_feeders} feeders x "
+            f"{capacity:,.0f} kW{profile} ({simulation.feeders.policy}); "
+            f"curtailed {book.total_import_shortfall_kwh:,.1f} kWh over "
+            f"{book.congested_feeder_slots} congested feeder-slots"
+        )
+    show = min(n_hubs, 12)
+    for i in range(show):
+        scenario = compiled.scenarios[i]
+        lines.append(
+            f"  hub {scenario.site.hub_id:>3} ({scenario.site.kind:<5}) "
+            f"profit ${profit[i]:>10,.1f}  avg daily {daily[i].mean():>7.1f}"
+        )
+    if n_hubs > show:
+        lines.append(f"  ... ({n_hubs - show} more hubs)")
+
+    return ExperimentResult(
+        experiment_id="fleet",
+        title="Batched fleet simulation (network-scale scheduling)",
+        data=data,
+        lines=lines,
+    )
+
+
+def run_sweep(sweep: SweepSpec) -> list[ExperimentResult]:
+    """Run every job of a sweep grid; each result carries its overrides.
+
+    Results keep the ``fleet`` data layout, tagged with
+    ``data["sweep_overrides"]`` and an indexed experiment id
+    (``fleet[0]``, ``fleet[1]``, …) so a ``--out`` export of the whole
+    sweep stays diffable job by job.
+    """
+    results: list[ExperimentResult] = []
+    for job in sweep.jobs():
+        result = run(job.spec)
+        result.experiment_id = f"fleet[{job.index}]"
+        result.data["sweep"] = sweep.name
+        result.data["sweep_overrides"] = dict(job.overrides)
+        results.append(result)
+    return results

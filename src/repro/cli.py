@@ -1,16 +1,25 @@
-"""Command-line entry point: regenerate any paper artifact.
+"""Command-line entry point: regenerate any paper artifact, run any spec.
 
 Usage::
 
     ect-hub list
     ect-hub run table2 [--scale 1.0] [--seed 0] [--out results.json]
     ect-hub run-all [--scale 0.5] [--out results.json]
-    ect-hub fleet --n-hubs 200 [--days 14] [--scheduler rule-based]
-    ect-hub fleet --n-hubs 200 --n-feeders 8 --feeder-capacity 400 \\
-        [--allocation proportional]
 
-``--out PATH`` persists the experiment ``data`` dicts as JSON so results
-can be diffed across runs and PRs.
+    ect-hub fleet --n-hubs 200 [--days 14] [--scheduler rule-based]
+    ect-hub fleet --preset congested-city --set run.days=3
+    ect-hub fleet --spec scenario.json --out results.json
+
+    ect-hub presets [--show NAME] [--check]
+    ect-hub sweep --preset fleet-default --param run.seed=0,1,2
+    ect-hub sweep --spec sweep.json --out sweep.json
+
+``fleet`` accepts either the legacy engine flags (a shim that folds them
+into a :class:`~repro.spec.scenario.ScenarioSpec`) or a declarative
+scenario via ``--spec FILE`` / ``--preset NAME`` plus dotted ``--set
+key=value`` overrides. ``sweep`` expands a base spec × parameter grid and
+runs every job. ``--out PATH`` persists experiment ``data`` dicts as JSON
+so results can be diffed across runs and PRs.
 """
 
 from __future__ import annotations
@@ -18,12 +27,21 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .experiments import available_experiments, run_experiment
 from .experiments.base import write_results_json
-from .experiments.fleet_sim import run as run_fleet
 from .fleet.grid import ALLOCATION_POLICIES
 from .fleet.schedulers import FLEET_SCHEDULERS
+from .spec import (
+    ScenarioSpec,
+    SweepSpec,
+    available_presets,
+    get_preset,
+    parse_assignments,
+    parse_override_value,
+    spec_from_fleet_flags,
+    verify_roundtrips,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,32 +68,90 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p = sub.add_parser(
         "fleet", help="batch-simulate an N-hub fleet (vectorized engine)"
     )
-    fleet_p.add_argument("--n-hubs", type=int, default=None)
-    fleet_p.add_argument("--days", type=int, default=None)
-    fleet_p.add_argument(
-        "--scheduler", choices=sorted(FLEET_SCHEDULERS), default="rule-based"
+    spec_g = fleet_p.add_argument_group("declarative scenario")
+    spec_g.add_argument(
+        "--spec", type=str, default=None, help="scenario spec JSON file"
     )
-    fleet_p.add_argument(
+    spec_g.add_argument(
+        "--preset", type=str, default=None, help="named preset (see `presets`)"
+    )
+    spec_g.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted override, e.g. --set grid.feeder_capacity_kw=400",
+    )
+    flag_g = fleet_p.add_argument_group(
+        "engine flags (legacy shim; not combinable with --spec/--preset)"
+    )
+    flag_g.add_argument("--n-hubs", type=int, default=None)
+    flag_g.add_argument("--days", type=int, default=None)
+    flag_g.add_argument(
+        "--scheduler", choices=sorted(FLEET_SCHEDULERS), default=None
+    )
+    flag_g.add_argument(
         "--n-feeders",
         type=int,
-        default=1,
+        default=None,
         help="feeders hubs are round-robined over (shared-grid coupling)",
     )
-    fleet_p.add_argument(
+    flag_g.add_argument(
         "--feeder-capacity",
         type=float,
         default=None,
         help="per-feeder import capacity in kW (default: unlimited/uncoupled)",
     )
-    fleet_p.add_argument(
+    flag_g.add_argument(
         "--allocation",
         choices=list(ALLOCATION_POLICIES),
-        default="proportional",
+        default=None,
         help="contention policy when a feeder limit binds",
     )
-    fleet_p.add_argument("--scale", type=float, default=1.0)
-    fleet_p.add_argument("--seed", type=int, default=0)
+    fleet_p.add_argument("--scale", type=float, default=None)
+    fleet_p.add_argument("--seed", type=int, default=None)
     fleet_p.add_argument("--out", type=str, default=None, help="write data as JSON")
+
+    presets_p = sub.add_parser("presets", help="list/inspect scenario presets")
+    presets_p.add_argument(
+        "--show", type=str, default=None, metavar="NAME", help="print a preset as JSON"
+    )
+    presets_p.add_argument(
+        "--check",
+        action="store_true",
+        help="round-trip and compile every preset (CI smoke check)",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="expand a base spec x parameter grid and run every job"
+    )
+    sweep_p.add_argument(
+        "--spec", type=str, default=None, help="SweepSpec JSON file"
+    )
+    sweep_p.add_argument(
+        "--preset", type=str, default=None, help="base scenario from a preset"
+    )
+    sweep_p.add_argument(
+        "--base-spec", type=str, default=None, help="base scenario JSON file"
+    )
+    sweep_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted override applied to the base before expansion",
+    )
+    sweep_p.add_argument(
+        "--param",
+        dest="params",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="grid axis, e.g. --param run.seed=0,1,2 (repeatable)",
+    )
+    sweep_p.add_argument("--out", type=str, default=None, help="write data as JSON")
     return parser
 
 
@@ -89,7 +165,93 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
 
+def _fleet_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Resolve the ``fleet`` subcommand's arguments into one spec."""
+    declarative = args.spec is not None or args.preset is not None
+    if args.spec is not None and args.preset is not None:
+        raise ConfigError("--spec and --preset are mutually exclusive")
+    if declarative:
+        flags = {
+            "--n-hubs": args.n_hubs,
+            "--days": args.days,
+            "--scheduler": args.scheduler,
+            "--n-feeders": args.n_feeders,
+            "--feeder-capacity": args.feeder_capacity,
+            "--allocation": args.allocation,
+        }
+        used = sorted(name for name, value in flags.items() if value is not None)
+        if used:
+            raise ConfigError(
+                f"{', '.join(used)} cannot be combined with --spec/--preset; "
+                "use --set overrides instead (e.g. --set fleet.n_hubs=48)"
+            )
+        spec = (
+            ScenarioSpec.load(args.spec)
+            if args.spec is not None
+            else get_preset(args.preset)
+        )
+        sugar: dict[str, object] = {}
+        if args.scale is not None:
+            sugar["run.scale"] = args.scale
+        if args.seed is not None:
+            sugar["run.seed"] = args.seed
+        if sugar:
+            spec = spec.with_overrides(sugar)
+    else:
+        spec = spec_from_fleet_flags(
+            scale=args.scale if args.scale is not None else 1.0,
+            seed=args.seed if args.seed is not None else 0,
+            n_hubs=args.n_hubs,
+            days=args.days,
+            scheduler=args.scheduler if args.scheduler is not None else "rule-based",
+            n_feeders=args.n_feeders if args.n_feeders is not None else 1,
+            feeder_capacity_kw=args.feeder_capacity,
+            allocation=args.allocation if args.allocation is not None else "proportional",
+        )
+    if args.overrides:
+        spec = spec.with_overrides(parse_assignments(args.overrides))
+    return spec
+
+
+def _sweep_spec(args: argparse.Namespace) -> SweepSpec:
+    """Resolve the ``sweep`` subcommand's arguments into one SweepSpec."""
+    sources = [args.spec, args.preset, args.base_spec]
+    if sum(source is not None for source in sources) != 1:
+        raise ConfigError(
+            "sweep needs exactly one of --spec, --preset, or --base-spec"
+        )
+    if args.spec is not None:
+        sweep = SweepSpec.load(args.spec)
+        if args.overrides or args.params:
+            raise ConfigError(
+                "--set/--param cannot be combined with a full --spec sweep file"
+            )
+        return sweep
+    base = (
+        get_preset(args.preset)
+        if args.preset is not None
+        else ScenarioSpec.load(args.base_spec)
+    )
+    if args.overrides:
+        base = base.with_overrides(parse_assignments(args.overrides))
+    if not args.params:
+        raise ConfigError("sweep needs at least one --param KEY=V1,V2,... axis")
+    parameters: dict[str, tuple] = {}
+    for raw in args.params:
+        key, sep, values = raw.partition("=")
+        if not sep or not key or not values:
+            raise ConfigError(f"--param {raw!r} must look like key.path=v1,v2,...")
+        parameters[key] = tuple(
+            parse_override_value(value) for value in values.split(",")
+        )
+    return SweepSpec(base=base, parameters=parameters, name=f"{base.name}-sweep")
+
+
 def _dispatch(args: argparse.Namespace) -> int:
+    # Local import: repro.api pulls in the experiment registry package,
+    # which imports this module's siblings; keep CLI start-up light.
+    from . import api
+
     if args.command == "list":
         for experiment_id in available_experiments():
             print(experiment_id)
@@ -111,19 +273,37 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"wrote {write_results_json(results, args.out)}")
         return 0
     if args.command == "fleet":
-        result = run_fleet(
-            scale=args.scale,
-            seed=args.seed,
-            n_hubs=args.n_hubs,
-            days=args.days,
-            scheduler=args.scheduler,
-            n_feeders=args.n_feeders,
-            feeder_capacity_kw=args.feeder_capacity,
-            allocation=args.allocation,
-        )
+        result = api.run(_fleet_spec(args))
         print(result.rendered())
         if args.out:
             print(f"wrote {write_results_json(result, args.out)}")
+        return 0
+    if args.command == "presets":
+        if args.check:
+            names = verify_roundtrips(build_specs=True)
+            print(f"ok: {len(names)} presets round-trip and compile")
+            return 0
+        if args.show is not None:
+            print(get_preset(args.show).to_json())
+            return 0
+        for name in available_presets():
+            print(f"{name:<24} {get_preset(name).description}")
+        return 0
+    if args.command == "sweep":
+        sweep = _sweep_spec(args)
+        jobs = sweep.jobs()
+        print(f"sweep {sweep.name}: {len(jobs)} jobs over {sweep.base.name!r}")
+        results = api.run_sweep(sweep)
+        for job, result in zip(jobs, results):
+            data = result.data
+            label = job.label() or "(base)"
+            print(
+                f"  [{job.index}] {label}: profit ${data['network_profit']:,.0f}, "
+                f"unserved {data['network_unserved_kwh']:,.1f} kWh, "
+                f"curtailed {data['import_shortfall_kwh']:,.1f} kWh"
+            )
+        if args.out:
+            print(f"wrote {write_results_json(results, args.out)}")
         return 0
     return 2
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import types
 import typing
 from pathlib import Path
 from typing import Any, Type, TypeVar
@@ -52,29 +53,86 @@ def from_dict(cls: Type[C], payload: dict[str, Any]) -> C:
     except Exception:  # pragma: no cover - exotic forward references
         hints = {}
 
-    kwargs: dict[str, Any] = {}
-    for name, value in payload.items():
-        field = field_map[name]
-        field_type = field.type if isinstance(field.type, type) else hints.get(name)
-        if typing.get_origin(field_type) is typing.Union:
-            # Optional[Config]: pick the dataclass member if present.
-            members = [
-                arg
-                for arg in typing.get_args(field_type)
-                if isinstance(arg, type) and dataclasses.is_dataclass(arg)
-            ]
-            field_type = members[0] if members else None
-        if (
-            isinstance(field_type, type)
-            and dataclasses.is_dataclass(field_type)
-            and isinstance(value, dict)
-        ):
-            kwargs[name] = from_dict(field_type, value)
-        elif isinstance(value, list):
-            kwargs[name] = tuple(value) if _wants_tuple(field) else list(value)
-        else:
-            kwargs[name] = value
+    kwargs = {
+        name: _convert_field(field_map[name], hints.get(name), value)
+        for name, value in payload.items()
+    }
     return cls(**kwargs)
+
+
+def convert_field_value(cls: type, name: str, value: Any) -> Any:
+    """Convert one field's payload value exactly as :func:`from_dict` would.
+
+    Lets dotted-path overrides accept the same plain-dict/list payloads a
+    spec file carries (``--set fleet.groups.0.battery={"capacity_kwh":400}``
+    rebuilds a ``BatteryConfig``), keeping override results identical to
+    their serialized round trip.
+    """
+    field_map = {f.name: f for f in dataclasses.fields(cls)}
+    if name not in field_map:
+        raise ConfigError(
+            f"unknown key {name!r} for {cls.__name__}; "
+            f"valid keys: {sorted(field_map)}"
+        )
+    try:
+        hints = typing.get_type_hints(cls)
+    except Exception:  # pragma: no cover - exotic forward references
+        hints = {}
+    return _convert_field(field_map[name], hints.get(name), value)
+
+
+def _convert_field(field: dataclasses.Field, hint: Any, value: Any) -> Any:
+    field_type = field.type if isinstance(field.type, type) else hint
+    if typing.get_origin(field_type) in (typing.Union, types.UnionType):
+        # Optional[Config] / Optional[tuple[...]]: pick the member that
+        # matches the payload's shape (dict ⇒ dataclass, list ⇒ sequence).
+        members = [
+            arg for arg in typing.get_args(field_type) if arg is not type(None)
+        ]
+        field_type = None
+        for member in members:
+            if isinstance(member, type) and dataclasses.is_dataclass(member):
+                if isinstance(value, dict):
+                    field_type = member
+                    break
+            elif typing.get_origin(member) in (tuple, list):
+                if isinstance(value, (list, tuple)):
+                    field_type = member
+                    break
+    if (
+        isinstance(field_type, type)
+        and dataclasses.is_dataclass(field_type)
+        and isinstance(value, dict)
+    ):
+        return from_dict(field_type, value)
+    if isinstance(value, (list, tuple)):
+        return _from_sequence(field, field_type, value)
+    return value
+
+
+def _from_sequence(
+    field: dataclasses.Field, field_type: Any, value: list | tuple
+) -> tuple | list:
+    """Rebuild a sequence field, recursing into dataclass element types."""
+    element_type = None
+    if typing.get_origin(field_type) in (tuple, list):
+        candidates = [
+            arg for arg in typing.get_args(field_type) if arg is not Ellipsis
+        ]
+        if (
+            candidates
+            and isinstance(candidates[0], type)
+            and dataclasses.is_dataclass(candidates[0])
+        ):
+            element_type = candidates[0]
+    items = [
+        from_dict(element_type, item)
+        if element_type is not None and isinstance(item, dict)
+        else item
+        for item in value
+    ]
+    wants_tuple = _wants_tuple(field) or typing.get_origin(field_type) is tuple
+    return tuple(items) if wants_tuple else list(items)
 
 
 def _wants_tuple(field: dataclasses.Field) -> bool:
@@ -94,6 +152,8 @@ def load_json(cls: Type[C], path: str | Path) -> C:
     """Load a dataclass config from a JSON file written by :func:`save_json`."""
     try:
         payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read config file {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
     return from_dict(cls, payload)

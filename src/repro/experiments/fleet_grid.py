@@ -4,16 +4,29 @@ The city-scale question the shared-grid coupling opens: how does network
 economics degrade as the feeders hubs hang off get tighter? The sweep
 first measures the fleet's uncongested per-feeder peak draw, then re-runs
 the same fleet with feeder capacity set to shrinking fractions of that
-peak, reporting profit, curtailed import, unserved energy, and congested
-feeder-slots at each level — for both allocation policies at the tightest
-level. Exposed on the CLI as ``ect-hub run fleet-grid``.
+peak — a :class:`~repro.spec.sweep.SweepSpec` grid over one base
+:class:`~repro.spec.scenario.ScenarioSpec` — reporting profit, curtailed
+import, unserved energy, and congested feeder-slots at each level, plus
+both allocation policies at the tightest level.
+
+Reliability is monetized: unserved energy is charged at
+:data:`VOLL_PER_KWH` (the value-of-lost-load penalty in Eq. 12 profit),
+so deep congestion *lowers* profit instead of quietly raising it by
+skipping grid purchases the feeder refused. Exposed on the CLI as
+``ect-hub run fleet-grid``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..fleet import FleetRuleBasedScheduler, build_default_fleet
+from ..spec import (
+    BlackoutSpec,
+    FleetSpec,
+    GridSpec,
+    RunSpec,
+    ScenarioSpec,
+    SweepSpec,
+    build,
+)
 from .base import ExperimentResult, scaled
 
 #: Fleet shape at scale=1.
@@ -27,38 +40,51 @@ CAPACITY_FRACTIONS = (1.01, 0.8, 0.6, 0.4)
 #: Blackout intensity matching the ``fleet`` experiment.
 OUTAGE_PROBABILITY = 0.001
 
+#: Value-of-lost-load: every unserved kWh costs this much (≈10x the
+#: highest RTP level, the usual order for outage costs vs energy prices).
+VOLL_PER_KWH = 2.0
 
-def _run_fleet(n_hubs, days, seed, capacity_kw, allocation):
-    _, sim = build_default_fleet(
-        n_hubs,
-        n_days=days,
-        seed=seed,
-        outage_probability=OUTAGE_PROBABILITY,
-        n_feeders=N_FEEDERS,
-        feeder_capacity_kw=capacity_kw,
-        allocation=allocation,
+
+def _base_spec(n_hubs: int, days: int, seed: int) -> ScenarioSpec:
+    """The shared scenario: only feeder capacity/allocation vary."""
+    return ScenarioSpec(
+        name="fleet-grid",
+        description="feeder congestion sweep base scenario",
+        fleet=FleetSpec(n_hubs=n_hubs),
+        grid=GridSpec(n_feeders=N_FEEDERS),
+        blackout=BlackoutSpec(outage_probability_per_hour=OUTAGE_PROBABILITY),
+        run=RunSpec(days=days, seed=seed, voll_per_kwh=VOLL_PER_KWH),
     )
-    return sim.run(FleetRuleBasedScheduler())
 
 
 def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     """Sweep feeder capacity from uncongested to heavily congested."""
     n_hubs = scaled(DEFAULT_N_HUBS, scale, minimum=N_FEEDERS)
     days = scaled(DEFAULT_DAYS, scale, minimum=3)
+    base = _base_spec(n_hubs, days, seed)
 
     # Reference: same feeder topology, unlimited capacity.
-    reference = _run_fleet(n_hubs, days, seed, np.inf, "proportional")
+    reference = build(base).execute()
     peak_kw = float(reference.feeder_peak_import_kw.max())
 
+    grid_sweep = SweepSpec(
+        base=base,
+        parameters={
+            "grid.feeder_capacity_kw": tuple(
+                fraction * peak_kw for fraction in CAPACITY_FRACTIONS
+            )
+        },
+        name="fleet-grid-capacity",
+    )
     sweep = []
-    for fraction in CAPACITY_FRACTIONS:
-        capacity = fraction * peak_kw
-        book = _run_fleet(n_hubs, days, seed, capacity, "proportional")
+    for fraction, job in zip(CAPACITY_FRACTIONS, grid_sweep.jobs()):
+        book = build(job.spec).execute()
         sweep.append(
             {
                 "capacity_fraction": fraction,
-                "feeder_capacity_kw": capacity,
+                "feeder_capacity_kw": job.overrides["grid.feeder_capacity_kw"],
                 "network_profit": book.profit,
+                "voll_cost": book.voll_cost,
                 "import_shortfall_kwh": book.total_import_shortfall_kwh,
                 "unserved_kwh": book.total_unserved_kwh,
                 "congested_feeder_slots": book.congested_feeder_slots,
@@ -68,24 +94,35 @@ def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
     # Allocation-policy contrast at the tightest level.
     tight_kw = CAPACITY_FRACTIONS[-1] * peak_kw
-    priority = _run_fleet(n_hubs, days, seed, tight_kw, "priority")
+    priority = build(
+        base.with_overrides(
+            {
+                "grid.feeder_capacity_kw": tight_kw,
+                "grid.allocation": "priority",
+            }
+        )
+    ).execute()
 
     data = {
         "n_hubs": n_hubs,
         "days": days,
         "n_feeders": N_FEEDERS,
+        "voll_per_kwh": VOLL_PER_KWH,
+        "base_spec": base.to_dict(),
         "uncongested_profit": reference.profit,
         "uncongested_peak_feeder_kw": peak_kw,
         "sweep": sweep,
         "priority_at_tightest": {
             "network_profit": priority.profit,
+            "voll_cost": priority.voll_cost,
             "import_shortfall_kwh": priority.total_import_shortfall_kwh,
             "unserved_kwh": priority.total_unserved_kwh,
         },
     }
 
     lines = [
-        f"fleet of {n_hubs} hubs x {days} days on {N_FEEDERS} shared feeders",
+        f"fleet of {n_hubs} hubs x {days} days on {N_FEEDERS} shared feeders, "
+        f"VoLL ${VOLL_PER_KWH:.2f}/kWh",
         f"uncongested: profit ${reference.profit:,.0f}, "
         f"peak feeder draw {peak_kw:,.1f} kW",
         "capacity    profit      curtailed     unserved   congested slots",
@@ -102,9 +139,9 @@ def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         f"{priority.total_import_shortfall_kwh:,.1f} kWh"
     )
     lines.append(
-        "note: Eq. 12 profit does not monetize unserved energy, so deep "
-        "congestion can *raise* profit while reliability (unserved kWh) "
-        "collapses — read the two columns together"
+        "note: unserved energy is charged at the value of lost load "
+        f"(${VOLL_PER_KWH:.2f}/kWh), so deep congestion now *lowers* Eq. 12 "
+        "profit instead of raising it by skipping refused grid purchases"
     )
 
     return ExperimentResult(

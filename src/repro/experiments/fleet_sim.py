@@ -5,24 +5,27 @@ heterogeneous urban/rural hubs in one :class:`~repro.fleet.FleetSimulation`
 run, reporting per-hub Eq. 12 profit and the network totals the Fig. 6
 "hub network" vision implies. Exposed on the CLI as
 ``ect-hub fleet --n-hubs 200``.
+
+Since the spec layer landed this runner is the *flag shim*: the keyword
+arguments are folded into a :class:`~repro.spec.scenario.ScenarioSpec`
+(:func:`~repro.spec.compiler.spec_from_fleet_flags`) and executed by
+:func:`repro.api.run`, so a flag-built run and its serialized-spec twin
+are the same run.
 """
 
 from __future__ import annotations
 
-import time
+from ..spec.compiler import DEFAULT_OUTAGE_PROBABILITY, spec_from_fleet_flags
+from ..spec.scenario import DEFAULT_DAYS, DEFAULT_N_HUBS
+from .base import ExperimentResult
 
-import numpy as np
-
-from ..fleet import build_default_fleet, make_fleet_scheduler
-from ..rng import RngFactory
-from .base import ExperimentResult, scaled
-
-#: Fleet size / horizon at scale=1 (paper fleet is 12 hubs; we go bigger).
-DEFAULT_N_HUBS = 24
-DEFAULT_DAYS = 14
-
-#: Blackout intensity: rare outages so resilience stats are non-trivial.
-DEFAULT_OUTAGE_PROBABILITY = 0.001
+__all__ = [
+    # Re-exported from the spec layer, which owns the flag defaults now.
+    "DEFAULT_DAYS",
+    "DEFAULT_N_HUBS",
+    "DEFAULT_OUTAGE_PROBABILITY",
+    "run",
+]
 
 
 def run(
@@ -42,89 +45,19 @@ def run(
     :class:`~repro.fleet.FeederGroup`); the default is the uncoupled
     one-infinite-feeder fleet.
     """
-    n_hubs = n_hubs if n_hubs is not None else scaled(DEFAULT_N_HUBS, scale, minimum=4)
-    days = days if days is not None else scaled(DEFAULT_DAYS, scale, minimum=7)
+    # Local import: repro.api pulls experiments.base, so importing it at
+    # module level would cycle through the experiment registry.
+    from .. import api
 
-    scenarios, sim = build_default_fleet(
-        n_hubs,
-        n_days=days,
-        seed=seed,
-        outage_probability=DEFAULT_OUTAGE_PROBABILITY,
-        n_feeders=n_feeders,
-        feeder_capacity_kw=feeder_capacity_kw,
-        allocation=allocation,
-    )
-    sched = make_fleet_scheduler(
-        scheduler, n_hubs=n_hubs, rng_factory=RngFactory(seed=seed)
-    )
-
-    start = time.perf_counter()
-    book = sim.run(sched)
-    elapsed = time.perf_counter() - start
-    hub_slots = n_hubs * sim.horizon
-    throughput = hub_slots / elapsed if elapsed > 0 else float("inf")
-
-    profit = book.profit_per_hub
-    daily = book.daily_rewards()
-    blackout_slots = int(book.blackout.sum())
-
-    # Wall-clock throughput stays out of `data`: the --out JSON must be
-    # deterministic so runs can be diffed across PRs (it is printed below).
-    coupled = feeder_capacity_kw is not None
-    data = {
-        "n_hubs": n_hubs,
-        "days": days,
-        "scheduler": sched.name,
-        "network_profit": book.profit,
-        "network_operating_cost": book.operating_cost,
-        "network_charging_revenue": book.charging_revenue,
-        "network_unserved_kwh": book.total_unserved_kwh,
-        "blackout_slots": blackout_slots,
-        "profit_per_hub": profit,
-        "avg_daily_reward_per_hub": daily.mean(axis=1),
-        "kinds": [s.site.kind for s in scenarios],
-        # Shared-grid coupling (zeros / infinities when uncoupled).
-        "n_feeders": sim.feeders.n_feeders,
-        "feeder_capacity_kw": feeder_capacity_kw,
-        "allocation": sim.feeders.policy,
-        "import_shortfall_kwh": book.total_import_shortfall_kwh,
-        "congested_feeder_slots": book.congested_feeder_slots,
-        "feeder_import_kwh": book.feeder_import_kwh,
-        "feeder_shortfall_kwh": book.feeder_shortfall_kwh,
-        "feeder_peak_import_kw": book.feeder_peak_import_kw,
-    }
-
-    lines = [
-        f"fleet of {n_hubs} hubs x {days} days, scheduler={sched.name}",
-        f"batched throughput {throughput:,.0f} hub-slots/sec "
-        f"({hub_slots} hub-slots in {elapsed:.3f}s)",
-        f"network profit ${book.profit:,.0f}  (revenue ${book.charging_revenue:,.0f}"
-        f" - operating ${book.operating_cost:,.0f})",
-        f"blackout slots {blackout_slots}, unserved "
-        f"{book.total_unserved_kwh:.1f} kWh",
-        f"per-hub daily reward: min {daily.mean(axis=1).min():.1f}  "
-        f"median {np.median(daily.mean(axis=1)):.1f}  "
-        f"max {daily.mean(axis=1).max():.1f}",
-    ]
-    if coupled:
-        lines.append(
-            f"shared grid: {sim.feeders.n_feeders} feeders x "
-            f"{feeder_capacity_kw:,.0f} kW ({sim.feeders.policy}); curtailed "
-            f"{book.total_import_shortfall_kwh:,.1f} kWh over "
-            f"{book.congested_feeder_slots} congested feeder-slots"
+    return api.run(
+        spec_from_fleet_flags(
+            scale=scale,
+            seed=seed,
+            n_hubs=n_hubs,
+            days=days,
+            scheduler=scheduler,
+            n_feeders=n_feeders,
+            feeder_capacity_kw=feeder_capacity_kw,
+            allocation=allocation,
         )
-    show = min(n_hubs, 12)
-    for i in range(show):
-        lines.append(
-            f"  hub {scenarios[i].site.hub_id:>3} ({scenarios[i].site.kind:<5}) "
-            f"profit ${profit[i]:>10,.1f}  avg daily {daily[i].mean():>7.1f}"
-        )
-    if n_hubs > show:
-        lines.append(f"  ... ({n_hubs - show} more hubs)")
-
-    return ExperimentResult(
-        experiment_id="fleet",
-        title="Batched fleet simulation (network-scale scheduling)",
-        data=data,
-        lines=lines,
     )

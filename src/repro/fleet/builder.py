@@ -14,17 +14,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ..energy.grid import BlackoutConfig, BlackoutModel
 from ..errors import FleetError
-from ..hub.scenario import (
-    HubScenario,
-    ScenarioConfig,
-    build_fleet_scenarios,
-    resolve_occupancy,
-)
-from ..rng import RngFactory
-from ..synth.charging import ChargingBehaviorModel, ChargingConfig
-from ..units import HOURS_PER_DAY
+from ..hub.scenario import HubScenario
 from .grid import FeederGroup
 from .inputs import FleetInputs
 from .params import FleetParams
@@ -90,6 +81,7 @@ def fleet_simulation_from_scenarios(
     outage: np.ndarray | None = None,
     initial_soc_fraction: float | np.ndarray = 0.5,
     feeders: FeederGroup | None = None,
+    voll_per_kwh: float = 0.0,
 ) -> FleetSimulation:
     """Convenience: params + inputs + engine in one call."""
     return FleetSimulation(
@@ -97,6 +89,7 @@ def fleet_simulation_from_scenarios(
         fleet_inputs_from_scenarios(scenarios, occupied, discount, outage=outage),
         initial_soc_fraction=initial_soc_fraction,
         feeders=feeders,
+        voll_per_kwh=voll_per_kwh,
     )
 
 
@@ -125,65 +118,41 @@ def build_default_fleet(
     (``"proportional"`` or ``"priority"``). ``None`` keeps the capacity
     unlimited — numerically the uncoupled engine — while still honouring
     the requested feeder topology in the cost book's rollups.
+
+    Since the spec layer landed this is a thin shim over the declarative
+    path: the arguments become a :class:`~repro.spec.scenario.ScenarioSpec`
+    and the :mod:`repro.spec.compiler` does the assembly (bit-identically
+    to the original imperative builder, which the fleet equivalence and
+    determinism suites enforce).
     """
     if n_hubs <= 0:
         raise FleetError(f"n_hubs must be positive, got {n_hubs}")
     if n_days <= 0:
         raise FleetError(f"n_days must be positive, got {n_days}")
-    feeders = FeederGroup.uniform(
-        n_hubs,
-        n_feeders,
-        np.inf if feeder_capacity_kw is None else feeder_capacity_kw,
-        policy=allocation,
+    # Local import: repro.spec imports repro.fleet submodules at load time.
+    from ..spec.compiler import build
+    from ..spec.scenario import (
+        BlackoutSpec,
+        FleetSpec,
+        GridSpec,
+        RunSpec,
+        ScenarioSpec,
     )
 
-    factory = RngFactory(seed=seed)
-    config = ScenarioConfig(
-        n_hours=n_days * HOURS_PER_DAY,
-        recovery_time_h=recovery_time_h,
-        charging=ChargingConfig(n_stations=n_hubs),
-    )
-    scenarios = build_fleet_scenarios(config, factory, n_hubs=n_hubs)
-    behavior = ChargingBehaviorModel(config.charging, factory)
-
-    slots = np.arange(config.n_hours)
-    no_discount = np.zeros(config.n_hours, dtype=int)
-    occupied = np.stack(
-        [
-            resolve_occupancy(
-                behavior.sample_strata(
-                    s.site.hub_id,
-                    slots,
-                    factory.stream(f"fleet/occupancy/{s.site.hub_id}"),
-                ),
-                no_discount,
-            )
-            for s in scenarios
-        ]
-    )
-
-    outage: np.ndarray | None = None
-    if outage_probability > 0.0:
-        model = BlackoutModel(
-            BlackoutConfig(
+    compiled = build(
+        ScenarioSpec(
+            name="default-fleet",
+            fleet=FleetSpec(n_hubs=n_hubs),
+            grid=GridSpec(
+                n_feeders=n_feeders,
+                feeder_capacity_kw=feeder_capacity_kw,
+                allocation=allocation,
+            ),
+            blackout=BlackoutSpec(
                 outage_probability_per_hour=outage_probability,
                 recovery_time_h=recovery_time_h,
-            )
+            ),
+            run=RunSpec(days=n_days, seed=seed),
         )
-        outage = np.stack(
-            [
-                model.sample_outages(
-                    config.n_hours, factory.stream(f"fleet/outage/{s.site.hub_id}")
-                )
-                for s in scenarios
-            ]
-        )
-
-    simulation = fleet_simulation_from_scenarios(
-        scenarios,
-        occupied,
-        np.zeros(config.n_hours),
-        outage=outage,
-        feeders=feeders,
     )
-    return scenarios, simulation
+    return compiled.scenarios, compiled.simulation

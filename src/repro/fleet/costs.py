@@ -49,11 +49,17 @@ class FleetCostBook:
         horizon: int,
         *,
         feeders: FeederGroup | None = None,
+        voll_per_kwh: float = 0.0,
     ) -> None:
         if n_hubs <= 0 or horizon < 0:
             raise FleetError(
                 f"invalid fleet book shape ({n_hubs} hubs, {horizon} slots)"
             )
+        if voll_per_kwh < 0 or not np.isfinite(voll_per_kwh):
+            raise FleetError(
+                f"voll_per_kwh must be finite and non-negative, got {voll_per_kwh}"
+            )
+        self.voll_per_kwh = float(voll_per_kwh)
         self.feeders = feeders or FeederGroup.unlimited(n_hubs)
         if self.feeders.n_hubs != n_hubs:
             raise FleetError(
@@ -106,9 +112,18 @@ class FleetCostBook:
         return self._recorded("revenue").sum(axis=1)
 
     @property
+    def voll_cost_per_hub(self) -> np.ndarray:
+        """Value-of-lost-load penalty per hub: ``VoLL · unserved_i``."""
+        return self.voll_per_kwh * self.unserved_per_hub_kwh
+
+    @property
     def profit_per_hub(self) -> np.ndarray:
-        """Eq. 12 per hub: ``Ψ_i = CR_i − OC_i``."""
-        return self.charging_revenue_per_hub - self.operating_cost_per_hub
+        """Eq. 12 per hub plus lost load: ``Ψ_i = CR_i − OC_i − VoLL·U_i``."""
+        return (
+            self.charging_revenue_per_hub
+            - self.operating_cost_per_hub
+            - self.voll_cost_per_hub
+        )
 
     @property
     def grid_energy_per_hub_kwh(self) -> np.ndarray:
@@ -191,8 +206,13 @@ class FleetCostBook:
         return float(self.charging_revenue_per_hub.sum())
 
     @property
+    def voll_cost(self) -> float:
+        """Network value-of-lost-load penalty."""
+        return float(self.voll_cost_per_hub.sum())
+
+    @property
     def profit(self) -> float:
-        """Network Eq. 12 total."""
+        """Network Eq. 12 total (lost-load penalty included)."""
         return float(self.profit_per_hub.sum())
 
     @property
@@ -213,6 +233,7 @@ class FleetCostBook:
             self._recorded("revenue")
             - self._recorded("grid_cost")
             - self._recorded("bp_cost")
+            - self.voll_per_kwh * self._recorded("unserved_kwh")
         )
         if rewards.shape[1] == 0:
             return np.zeros((self.n_hubs, 0))
@@ -227,7 +248,7 @@ class FleetCostBook:
         """Reconstruct one hub's scalar :class:`CostBook` from the columns."""
         if not 0 <= index < self.n_hubs:
             raise FleetError(f"hub index {index} out of range for {self.n_hubs} hubs")
-        book = CostBook()
+        book = CostBook(voll_per_kwh=self.voll_per_kwh)
         for t in range(self._n_recorded):
             book.add(
                 SlotLedger(

@@ -231,17 +231,54 @@ def make_fleet_scheduler(
     *,
     n_hubs: int,
     rng_factory: RngFactory | None = None,
+    congestion_aware: bool = True,
+    cheap_quantile: float | None = None,
+    expensive_quantile: float | None = None,
 ) -> FleetScheduler:
-    """Instantiate a fleet scheduler by name (random needs a factory)."""
+    """Instantiate a fleet scheduler by name (random needs a factory).
+
+    Quantiles left ``None`` use each scheduler class's own defaults; a
+    quantile the named scheduler does not consume raises
+    :class:`ConfigError` instead of being silently dropped.
+    """
+
+    def reject_unused(allowed: tuple[str, ...]) -> None:
+        supplied = {
+            "cheap_quantile": cheap_quantile,
+            "expensive_quantile": expensive_quantile,
+        }
+        unused = [
+            label
+            for label, value in supplied.items()
+            if value is not None and label not in allowed
+        ]
+        if unused:
+            raise ConfigError(
+                f"scheduler {name!r} does not take {', '.join(unused)}"
+            )
+
     if name == FleetIdleScheduler.name:
+        reject_unused(())
         return FleetIdleScheduler()
-    if name == FleetRuleBasedScheduler.name:
-        return FleetRuleBasedScheduler()
-    if name == FleetGreedyRenewableScheduler.name:
-        return FleetGreedyRenewableScheduler()
     if name == FleetRandomScheduler.name:
+        reject_unused(())
         factory = rng_factory or RngFactory(seed=0)
         return FleetRandomScheduler.from_factory(factory, n_hubs)
+    if name == FleetRuleBasedScheduler.name:
+        kwargs = {}
+        if cheap_quantile is not None:
+            kwargs["cheap_quantile"] = cheap_quantile
+        if expensive_quantile is not None:
+            kwargs["expensive_quantile"] = expensive_quantile
+        return FleetRuleBasedScheduler(congestion_aware=congestion_aware, **kwargs)
+    if name == FleetGreedyRenewableScheduler.name:
+        reject_unused(("expensive_quantile",))
+        kwargs = {}
+        if expensive_quantile is not None:
+            kwargs["expensive_quantile"] = expensive_quantile
+        return FleetGreedyRenewableScheduler(
+            congestion_aware=congestion_aware, **kwargs
+        )
     raise FleetError(
         f"unknown fleet scheduler {name!r}; available: {', '.join(FLEET_SCHEDULERS)}"
     )

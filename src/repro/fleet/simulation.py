@@ -49,6 +49,7 @@ class FleetSimulation:
         *,
         initial_soc_fraction: float | np.ndarray = 0.5,
         feeders: FeederGroup | None = None,
+        voll_per_kwh: float = 0.0,
     ) -> None:
         if params.n_hubs != inputs.n_hubs:
             raise FleetError(
@@ -73,7 +74,13 @@ class FleetSimulation:
         self._coupled = not self.feeders.is_unlimited
         self._outage = inputs.outage_mask()
         self._initial_soc = self._as_soc_fraction(initial_soc_fraction)
-        self.book = FleetCostBook(params.n_hubs, inputs.horizon, feeders=self.feeders)
+        self.voll_per_kwh = float(voll_per_kwh)
+        self.book = FleetCostBook(
+            params.n_hubs,
+            inputs.horizon,
+            feeders=self.feeders,
+            voll_per_kwh=self.voll_per_kwh,
+        )
         self._t = 0
         self.soc_kwh = self._reset_soc(self._initial_soc)
         self.throughput_kwh = np.zeros(params.n_hubs)
@@ -128,7 +135,10 @@ class FleetSimulation:
         """Rewind to slot 0 and reset batteries and the fleet cost book."""
         self._t = 0
         self.book = FleetCostBook(
-            self.params.n_hubs, self.inputs.horizon, feeders=self.feeders
+            self.params.n_hubs,
+            self.inputs.horizon,
+            feeders=self.feeders,
+            voll_per_kwh=self.voll_per_kwh,
         )
         fractions = (
             self._initial_soc

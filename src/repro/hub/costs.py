@@ -17,6 +17,7 @@ profit ``Ψ``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..errors import HubError
@@ -113,9 +114,23 @@ def compute_slot_ledger(
 
 @dataclass
 class CostBook:
-    """Accumulates slot ledgers into the paper's aggregate quantities."""
+    """Accumulates slot ledgers into the paper's aggregate quantities.
+
+    ``voll_per_kwh`` is the value-of-lost-load penalty: Eq. 12 profit
+    charges every unserved kWh at this rate, so reliability failures cost
+    money instead of silently *raising* profit (unserved load means less
+    grid import). Zero — the paper's literal objective — by default.
+    """
 
     ledgers: list[SlotLedger] = field(default_factory=list)
+    voll_per_kwh: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.voll_per_kwh) or self.voll_per_kwh < 0:
+            raise HubError(
+                f"voll_per_kwh must be finite and non-negative, got "
+                f"{self.voll_per_kwh}"
+            )
 
     def add(self, ledger: SlotLedger) -> None:
         """Record one slot."""
@@ -135,9 +150,14 @@ class CostBook:
         return sum(l.revenue for l in self.ledgers)
 
     @property
+    def voll_cost(self) -> float:
+        """Value-of-lost-load penalty over the horizon."""
+        return self.voll_per_kwh * self.total_unserved_kwh
+
+    @property
     def profit(self) -> float:
-        """Eq. 12: ``Ψ = CR − OC``."""
-        return self.charging_revenue - self.operating_cost
+        """Eq. 12 plus the lost-load penalty: ``Ψ = CR − OC − VoLL·unserved``."""
+        return self.charging_revenue - self.operating_cost - self.voll_cost
 
     @property
     def total_grid_energy_kwh(self) -> float:
@@ -161,5 +181,7 @@ class CostBook:
         rewards: list[float] = []
         for start in range(0, len(self.ledgers), slots_per_day):
             chunk = self.ledgers[start : start + slots_per_day]
-            rewards.append(sum(l.reward for l in chunk))
+            rewards.append(
+                sum(l.reward - self.voll_per_kwh * l.unserved_kwh for l in chunk)
+            )
         return rewards

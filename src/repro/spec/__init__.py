@@ -1,0 +1,61 @@
+"""``repro.spec`` — declarative, serializable scenario descriptions.
+
+Scenarios are *data*: a :class:`ScenarioSpec` tree of frozen dataclasses
+(fleet composition with per-group overrides, feeder topology, scheduler,
+blackout process, run shape) that round-trips through JSON bit-for-bit
+and compiles deterministically into the scalar or batched engines.
+
+Layout
+------
+``scenario``
+    The spec tree (``ScenarioSpec`` and its parts) plus dotted-path
+    overrides (``apply_overrides`` — the ``--set key=value`` language).
+``compiler``
+    ``build(spec)`` → :class:`~repro.spec.compiler.CompiledScenario`
+    (scenarios, batched engine, scheduler) and the legacy flag shim.
+``presets``
+    Named curated specs (``paper-default``, ``congested-city``, …).
+``sweep``
+    ``SweepSpec``: base spec × parameter grid → runnable jobs.
+
+The user-facing facade lives in :mod:`repro.api`.
+"""
+
+from .compiler import CompiledScenario, build, make_scheduler, spec_from_fleet_flags
+from .presets import PRESETS, available_presets, get_preset, verify_roundtrips
+from .scenario import (
+    BlackoutSpec,
+    FleetSpec,
+    GridSpec,
+    HubGroupSpec,
+    RunSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+    apply_overrides,
+    parse_assignments,
+    parse_override_value,
+)
+from .sweep import SweepJob, SweepSpec
+
+__all__ = [
+    "PRESETS",
+    "BlackoutSpec",
+    "CompiledScenario",
+    "FleetSpec",
+    "GridSpec",
+    "HubGroupSpec",
+    "RunSpec",
+    "ScenarioSpec",
+    "SchedulerSpec",
+    "SweepJob",
+    "SweepSpec",
+    "apply_overrides",
+    "available_presets",
+    "build",
+    "get_preset",
+    "make_scheduler",
+    "parse_assignments",
+    "parse_override_value",
+    "spec_from_fleet_flags",
+    "verify_roundtrips",
+]

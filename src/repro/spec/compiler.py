@@ -1,0 +1,321 @@
+"""Compile a :class:`~repro.spec.scenario.ScenarioSpec` into engines.
+
+One deterministic pipeline from data to simulation: resolve run-scale,
+generate the site catalog, apply group overrides, build per-hub scenarios
+(traces + Eq. 6-sized batteries), realise charging occupancy from the
+latent strata, sample blackouts, wire the feeder topology, and assemble
+the batched :class:`~repro.fleet.simulation.FleetSimulation` plus the
+spec'd scheduler. The default spec compiles to exactly the fleet the old
+imperative ``build_default_fleet`` produced — bit-for-bit, which is what
+keeps the PR-1/PR-2 equivalence and determinism suites binding on this
+layer too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import replace
+from ..energy.grid import BlackoutConfig, BlackoutModel
+from ..errors import ConfigError
+from ..fleet.grid import FeederGroup
+from ..fleet.schedulers import FleetScheduler, make_fleet_scheduler
+from ..fleet.simulation import FleetSimulation
+from ..hub.scenario import (
+    HubScenario,
+    ScenarioConfig,
+    build_scenario,
+    resolve_occupancy,
+)
+from ..rng import RngFactory
+from ..synth.catalog import HubSite, default_fleet
+from ..synth.charging import ChargingBehaviorModel, ChargingConfig
+from ..units import HOURS_PER_DAY
+from .scenario import (
+    DEFAULT_DAYS,
+    DEFAULT_N_HUBS,
+    BlackoutSpec,
+    FleetSpec,
+    GridSpec,
+    HubGroupSpec,
+    RunSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+)
+
+#: Blackout intensity of the ``ect-hub fleet`` flag defaults.
+DEFAULT_OUTAGE_PROBABILITY = 0.001
+
+
+def _scaled(value: int, scale: float, *, minimum: int = 1) -> int:
+    """Run-scale an integer knob (same rounding as experiments.base.scaled)."""
+    return max(int(round(value * scale)), minimum)
+
+
+@dataclass
+class CompiledScenario:
+    """A spec resolved into runnable engines.
+
+    ``scenarios`` keeps the per-hub scenario objects for inspection and
+    scalar-engine cross-checks; ``simulation`` is the batched engine with
+    feeders, blackouts, and the VoLL penalty wired in; ``scheduler`` is
+    the spec'd policy. :meth:`execute` runs the horizon and returns the
+    completed :class:`~repro.fleet.costs.FleetCostBook`.
+    """
+
+    spec: ScenarioSpec
+    scenarios: list[HubScenario]
+    simulation: FleetSimulation
+    scheduler: FleetScheduler
+    n_hubs: int
+    days: int
+
+    def execute(self):
+        """Run the remaining horizon under the spec'd scheduler."""
+        return self.simulation.run(self.scheduler)
+
+
+def _group_table(fleet: FleetSpec, scale: float) -> tuple[int, list[HubGroupSpec | None]]:
+    """Resolve run-scale and expand groups into a per-hub override row."""
+    if fleet.groups:
+        per_hub: list[HubGroupSpec | None] = []
+        for group in fleet.groups:
+            per_hub.extend([group] * _scaled(group.count, scale, minimum=1))
+        return len(per_hub), per_hub
+    n_hubs = _scaled(fleet.resolved_n_hubs, scale, minimum=1)
+    return n_hubs, [None] * n_hubs
+
+
+def _apply_site_overrides(
+    site: HubSite, group: HubGroupSpec | None
+) -> HubSite:
+    if group is None:
+        return site
+    changes = {
+        name: getattr(group, name)
+        for name in ("kind", "pv_kw", "wt_kw", "traffic_scale", "n_base_stations")
+        if getattr(group, name) is not None
+    }
+    return dataclasses.replace(site, **changes) if changes else site
+
+
+def _hub_config_for(
+    base: ScenarioConfig, group: HubGroupSpec | None
+) -> ScenarioConfig:
+    """Per-hub ScenarioConfig once group battery/cost overrides are applied."""
+    if group is None:
+        return base
+    config = base
+    if group.battery is not None:
+        config = replace(config, battery=group.battery)
+    elif group.battery_scale is not None:
+        scale = group.battery_scale
+        battery = config.battery
+        config = replace(
+            config,
+            battery=replace(
+                battery,
+                capacity_kwh=battery.capacity_kwh * scale,
+                charge_rate_kw=battery.charge_rate_kw * scale,
+                discharge_rate_kw=battery.discharge_rate_kw * scale,
+            ),
+        )
+    if group.c_bp_per_slot is not None:
+        config = replace(config, c_bp_per_slot=group.c_bp_per_slot)
+    return config
+
+
+def _build_feeders(
+    grid: GridSpec,
+    per_hub: list[HubGroupSpec | None],
+    n_hubs: int,
+    horizon: int,
+) -> FeederGroup:
+    if grid.n_feeders > n_hubs:
+        raise ConfigError(
+            f"{grid.n_feeders} feeders for {n_hubs} hubs leaves feeders empty"
+        )
+    assignment = np.arange(n_hubs) % grid.n_feeders
+    for index, group in enumerate(per_hub):
+        if group is not None and group.feeder is not None:
+            if group.feeder >= grid.n_feeders:
+                raise ConfigError(
+                    f"group feeder {group.feeder} out of range for "
+                    f"{grid.n_feeders} feeders"
+                )
+            assignment[index] = group.feeder
+    if grid.feeder_capacity_kw is None:
+        capacity = np.full(grid.n_feeders, np.inf)
+    elif grid.capacity_profile is not None:
+        pattern = np.asarray(grid.capacity_profile, dtype=float)
+        slots = grid.feeder_capacity_kw * pattern[np.arange(horizon) % len(pattern)]
+        capacity = np.broadcast_to(slots, (grid.n_feeders, horizon)).copy()
+    else:
+        capacity = np.full(grid.n_feeders, float(grid.feeder_capacity_kw))
+    return FeederGroup(
+        assignment=assignment,
+        import_capacity_kw=capacity,
+        policy=grid.allocation,
+    )
+
+
+def make_scheduler(
+    scheduler: SchedulerSpec, *, n_hubs: int, rng_factory: RngFactory
+) -> FleetScheduler:
+    """Instantiate the spec'd scheduler (quantiles None ⇒ class defaults)."""
+    return make_fleet_scheduler(
+        scheduler.name,
+        n_hubs=n_hubs,
+        rng_factory=rng_factory,
+        congestion_aware=scheduler.congestion_aware,
+        cheap_quantile=scheduler.cheap_quantile,
+        expensive_quantile=scheduler.expensive_quantile,
+    )
+
+
+def build(spec: ScenarioSpec) -> CompiledScenario:
+    """Compile a spec into scenarios + batched engine + scheduler."""
+    if not isinstance(spec, ScenarioSpec):
+        raise ConfigError(
+            f"expected a ScenarioSpec, got {type(spec).__name__}"
+        )
+    run = spec.run
+    n_hubs, per_hub = _group_table(spec.fleet, run.scale)
+    days = _scaled(run.days, run.scale, minimum=1)
+    horizon = days * HOURS_PER_DAY
+
+    factory = RngFactory(seed=run.seed)
+    fleet = spec.fleet
+    charging = replace(
+        fleet.charging if fleet.charging is not None else ChargingConfig(),
+        n_stations=n_hubs,
+    )
+    base_config = ScenarioConfig(
+        n_hours=horizon,
+        recovery_time_h=spec.blackout.recovery_time_h,
+        charging=charging,
+        c_bp_per_slot=fleet.c_bp_per_slot,
+        **{
+            name: getattr(fleet, name)
+            for name in ("battery", "base_station", "charging_station",
+                         "weather", "traffic", "rtp")
+            if getattr(fleet, name) is not None
+        },
+    )
+
+    sites = default_fleet(
+        n_hubs, rng_factory=factory, urban_fraction=fleet.urban_fraction
+    )
+    scenarios = [
+        build_scenario(
+            _apply_site_overrides(site, group),
+            _hub_config_for(base_config, group),
+            factory,
+        )
+        for site, group in zip(sites, per_hub)
+    ]
+
+    behavior = ChargingBehaviorModel(base_config.charging, factory)
+    slots = np.arange(horizon)
+    no_discount = np.zeros(horizon, dtype=int)
+    occupied = np.stack(
+        [
+            resolve_occupancy(
+                behavior.sample_strata(
+                    scenario.site.hub_id,
+                    slots,
+                    factory.stream(f"fleet/occupancy/{scenario.site.hub_id}"),
+                ),
+                no_discount,
+            )
+            for scenario in scenarios
+        ]
+    )
+
+    outage: np.ndarray | None = None
+    if spec.blackout.outage_probability_per_hour > 0.0:
+        model = BlackoutModel(
+            BlackoutConfig(
+                outage_probability_per_hour=spec.blackout.outage_probability_per_hour,
+                recovery_time_h=spec.blackout.recovery_time_h,
+            )
+        )
+        outage = np.stack(
+            [
+                model.sample_outages(
+                    horizon, factory.stream(f"fleet/outage/{scenario.site.hub_id}")
+                )
+                for scenario in scenarios
+            ]
+        )
+
+    feeders = _build_feeders(spec.grid, per_hub, n_hubs, horizon)
+
+    from ..fleet.builder import fleet_simulation_from_scenarios
+
+    simulation = fleet_simulation_from_scenarios(
+        scenarios,
+        occupied,
+        np.zeros(horizon),
+        outage=outage,
+        initial_soc_fraction=run.initial_soc_fraction,
+        feeders=feeders,
+        voll_per_kwh=run.voll_per_kwh,
+    )
+    scheduler = make_scheduler(
+        spec.scheduler, n_hubs=n_hubs, rng_factory=RngFactory(seed=run.seed)
+    )
+    return CompiledScenario(
+        spec=spec,
+        scenarios=scenarios,
+        simulation=simulation,
+        scheduler=scheduler,
+        n_hubs=n_hubs,
+        days=days,
+    )
+
+
+def spec_from_fleet_flags(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    n_hubs: int | None = None,
+    days: int | None = None,
+    scheduler: str = "rule-based",
+    n_feeders: int = 1,
+    feeder_capacity_kw: float | None = None,
+    allocation: str = "proportional",
+) -> ScenarioSpec:
+    """The flag-shim: one spec per legacy ``ect-hub fleet`` invocation.
+
+    Resolves the old CLI's scale-dependent defaults (24 hubs / 14 days at
+    scale 1, floors of 4 and 7) into explicit spec values, so the returned
+    spec — serialized or not — rebuilds exactly the run the flags meant.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    resolved_hubs = (
+        n_hubs if n_hubs is not None else _scaled(DEFAULT_N_HUBS, scale, minimum=4)
+    )
+    resolved_days = (
+        days if days is not None else _scaled(DEFAULT_DAYS, scale, minimum=7)
+    )
+    return ScenarioSpec(
+        name="fleet",
+        description="legacy flag-built fleet scenario",
+        fleet=FleetSpec(n_hubs=resolved_hubs),
+        grid=GridSpec(
+            n_feeders=n_feeders,
+            feeder_capacity_kw=feeder_capacity_kw,
+            allocation=allocation,
+        ),
+        scheduler=SchedulerSpec(name=scheduler),
+        blackout=BlackoutSpec(
+            outage_probability_per_hour=DEFAULT_OUTAGE_PROBABILITY,
+            recovery_time_h=4,
+        ),
+        run=RunSpec(days=resolved_days, seed=seed),
+    )

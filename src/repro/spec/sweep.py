@@ -1,0 +1,115 @@
+"""Sweeps: one base spec × a parameter grid ⇒ runnable jobs.
+
+A :class:`SweepSpec` is itself serializable data — a base
+:class:`~repro.spec.scenario.ScenarioSpec` plus a mapping of dotted
+override paths to value lists. :meth:`SweepSpec.jobs` expands the
+cartesian product into concrete :class:`SweepJob` entries (later keys
+vary fastest, like nested loops in declaration order), each carrying the
+fully-overridden spec ready for ``repro.api.run``. This is the engine
+behind ``ect-hub sweep`` and the refactored ``fleet-grid`` congestion
+study.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .. import config
+from ..errors import ConfigError
+from .scenario import ScenarioSpec, apply_overrides
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One expanded point of a sweep grid."""
+
+    index: int
+    overrides: dict[str, Any]
+    spec: ScenarioSpec
+
+    def label(self) -> str:
+        """Compact ``key=value`` summary of this point."""
+        return ", ".join(f"{key}={value}" for key, value in self.overrides.items())
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base scenario and the parameter grid to expand over it.
+
+    ``parameters`` maps dotted override paths to the values each takes;
+    declaration order defines the loop nesting. Every path is validated
+    against the base spec at construction, so a typo'd key fails here —
+    not after half the grid has run.
+    """
+
+    base: ScenarioSpec = field(default_factory=ScenarioSpec)
+    parameters: dict[str, tuple[Any, ...]] = field(default_factory=dict)
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("sweep name must be a non-empty string")
+        if not isinstance(self.parameters, Mapping):
+            raise ConfigError("sweep parameters must map dotted keys to values")
+        normalized: dict[str, tuple[Any, ...]] = {}
+        for key, values in self.parameters.items():
+            if not isinstance(values, (list, tuple)):
+                raise ConfigError(
+                    f"sweep parameter {key!r} must list its values, got "
+                    f"{type(values).__name__}"
+                )
+            if len(values) == 0:
+                raise ConfigError(f"sweep parameter {key!r} has no values")
+            normalized[key] = tuple(values)
+            # Validate the path (and the first value) against the base now.
+            apply_overrides(self.base, {key: normalized[key][0]})
+        object.__setattr__(self, "parameters", normalized)
+
+    @property
+    def n_jobs(self) -> int:
+        """Grid size (1 when the parameter map is empty: just the base)."""
+        total = 1
+        for values in self.parameters.values():
+            total *= len(values)
+        return total
+
+    def jobs(self) -> list[SweepJob]:
+        """Expand the grid into fully-overridden, runnable jobs."""
+        keys = list(self.parameters)
+        jobs: list[SweepJob] = []
+        for index, combo in enumerate(
+            itertools.product(*(self.parameters[key] for key in keys))
+        ):
+            overrides = dict(zip(keys, combo))
+            jobs.append(
+                SweepJob(
+                    index=index,
+                    overrides=overrides,
+                    spec=apply_overrides(self.base, overrides),
+                )
+            )
+        return jobs
+
+    # ------------------------------------------------------------------ #
+    # Serialization                                                        #
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain dict/list/scalar form (JSON-safe)."""
+        return config.to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SweepSpec":
+        """Rebuild a sweep; unknown keys raise :class:`ConfigError`."""
+        return config.from_dict(cls, payload)
+
+    def save(self, path) -> None:
+        """Write the sweep as JSON."""
+        config.save_json(self, path)
+
+    @classmethod
+    def load(cls, path) -> "SweepSpec":
+        """Load a sweep JSON file written by :meth:`save` (or by hand)."""
+        return config.load_json(cls, path)

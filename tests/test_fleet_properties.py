@@ -315,3 +315,37 @@ class TestDeterminism:
             assert main([*argv, "--out", str(path)]) == 0
         first, second = (path.read_bytes() for path in paths)
         assert first == second
+
+    def test_cli_spec_exports_are_byte_identical(self, tmp_path):
+        """Golden check for the declarative path: ``fleet --spec … --out``."""
+        from repro.spec import get_preset
+
+        spec_path = tmp_path / "scenario.json"
+        get_preset("heterogeneous-batteries").with_overrides(
+            {"run.days": 2, "grid.n_feeders": 3, "grid.feeder_capacity_kw": 150.0}
+        ).save(spec_path)
+        paths = [tmp_path / "first.json", tmp_path / "second.json"]
+        for path in paths:
+            assert main(["fleet", "--spec", str(spec_path), "--out", str(path)]) == 0
+        first, second = (path.read_bytes() for path in paths)
+        assert first == second
+
+    def test_cli_preset_export_matches_its_spec_file_export(self, tmp_path):
+        """``--preset NAME`` and the preset saved to disk are the same run."""
+        from repro.spec import get_preset
+
+        spec_path = tmp_path / "scenario.json"
+        get_preset("rural-microgrid").with_overrides({"run.days": 2}).save(spec_path)
+        by_preset = tmp_path / "preset.json"
+        by_file = tmp_path / "file.json"
+        assert (
+            main(
+                [
+                    "fleet", "--preset", "rural-microgrid",
+                    "--set", "run.days=2", "--out", str(by_preset),
+                ]
+            )
+            == 0
+        )
+        assert main(["fleet", "--spec", str(spec_path), "--out", str(by_file)]) == 0
+        assert by_preset.read_bytes() == by_file.read_bytes()
