@@ -20,6 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import write_perf_report
 from repro.fleet import FleetRuleBasedScheduler, build_default_fleet
 from repro.hub.simulation import HubSimulation
 from repro.rl.schedulers import RuleBasedScheduler
@@ -66,8 +67,21 @@ def test_bench_fleet_throughput():
             f"vs looped ${looped_profit:,.1f}",
         ]
     )
-    REPORT_DIR.mkdir(exist_ok=True)
-    (REPORT_DIR / "fleet.txt").write_text(report + "\n")
+    write_perf_report(
+        "fleet",
+        report,
+        {
+            "workload": {
+                "n_hubs": N_HUBS,
+                "slots": sim.horizon,
+                "hub_slots": hub_slots,
+                "scheduler": "rule-based",
+            },
+            "batched_hub_slots_per_sec": batched_rate,
+            "looped_hub_slots_per_sec": looped_rate,
+            "speedup": speedup,
+        },
+    )
     print("\n" + report)
 
     # The engines must agree (the real equivalence suite lives in tests/).
@@ -132,9 +146,26 @@ def test_bench_fleet_coupling_overhead():
             "congested feeder-slots",
         ]
     )
-    REPORT_DIR.mkdir(exist_ok=True)
     # Own section file: repeated/partial bench runs stay deterministic.
-    (REPORT_DIR / "fleet-coupling.txt").write_text(report + "\n")
+    write_perf_report(
+        "fleet-coupling",
+        report,
+        {
+            "workload": {
+                "n_hubs": N_HUBS,
+                "slots": reference_book.horizon,
+                "hub_slots": hub_slots,
+                "n_feeders": n_feeders,
+                "feeder_capacity_kw": capacity,
+                "scheduler": "rule-based (congestion-blind)",
+            },
+            "uncoupled_hub_slots_per_sec": hub_slots / uncoupled_s,
+            "coupled_hub_slots_per_sec": hub_slots / coupled_s,
+            "overhead": overhead,
+            "congested_feeder_slots": coupled_book.congested_feeder_slots,
+            "curtailed_kwh": coupled_book.total_import_shortfall_kwh,
+        },
+    )
     print("\n" + report)
 
     # The congested run must actually exercise the coupling path.

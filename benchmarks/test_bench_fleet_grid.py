@@ -6,7 +6,9 @@ than the uncongested fleet (before VoLL, skipping refused grid purchases
 made deep congestion look profitable).
 """
 
-from conftest import bench_scale
+import json
+
+from conftest import REPORT_DIR, bench_scale
 
 
 def test_bench_fleet_grid(run_artifact):
@@ -16,3 +18,7 @@ def test_bench_fleet_grid(run_artifact):
     assert tightest["unserved_kwh"] > 0.0, "sweep never got congested"
     assert tightest["network_profit"] < data["uncongested_profit"]
     assert data["priority_at_tightest"]["network_profit"] < data["uncongested_profit"]
+    # Machine-readable twin of reports/fleet-grid.txt (diffable across PRs).
+    (REPORT_DIR / "fleet-grid.json").write_text(
+        json.dumps(result.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    )

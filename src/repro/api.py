@@ -140,19 +140,33 @@ def run(spec: ScenarioSpec | str) -> ExperimentResult:
     )
 
 
-def run_sweep(sweep: SweepSpec) -> list[ExperimentResult]:
+def run_sweep(
+    sweep: SweepSpec, *, jobs: int | None = None
+) -> list[ExperimentResult]:
     """Run every job of a sweep grid; each result carries its overrides.
 
     Results keep the ``fleet`` data layout, tagged with
     ``data["sweep_overrides"]`` and an indexed experiment id
     (``fleet[0]``, ``fleet[1]``, …) so a ``--out`` export of the whole
     sweep stays diffable job by job.
+
+    ``jobs`` selects the executor: ``None`` or ``1`` runs the grid
+    serially in-process (the default, byte-identical to always),
+    ``N > 1`` fans the jobs out over ``N`` worker processes
+    (:mod:`repro.parallel`), and ``0`` means one worker per CPU core.
+    Parallel results are re-ordered by job index and tagged identically,
+    so serial and parallel sweeps produce byte-identical exports.
     """
-    results: list[ExperimentResult] = []
-    for job in sweep.jobs():
-        result = run(job.spec)
+    from .parallel import resolve_jobs, run_jobs_parallel
+
+    expanded = sweep.jobs()
+    n_workers = resolve_jobs(jobs)
+    if n_workers > 1 and len(expanded) > 1:
+        results = run_jobs_parallel(expanded, n_workers)
+    else:
+        results = [run(job.spec) for job in expanded]
+    for job, result in zip(expanded, results):
         result.experiment_id = f"fleet[{job.index}]"
         result.data["sweep"] = sweep.name
         result.data["sweep_overrides"] = dict(job.overrides)
-        results.append(result)
     return results

@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("experiment", choices=available_experiments())
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep-style experiments "
+        "(0 = all cores; default: serial)",
+    )
     run_p.add_argument("--out", type=str, default=None, help="write data as JSON")
 
     all_p = sub.add_parser("run-all", help="run every experiment")
@@ -150,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=V1,V2,...",
         help="grid axis, e.g. --param run.seed=0,1,2 (repeatable)",
+    )
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (0 = all cores; default: serial, "
+        "byte-identical results either way)",
     )
     sweep_p.add_argument("--out", type=str, default=None, help="write data as JSON")
     return parser
@@ -257,7 +271,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(experiment_id)
         return 0
     if args.command == "run":
-        result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+        result = run_experiment(
+            args.experiment, scale=args.scale, seed=args.seed, jobs=args.jobs
+        )
         print(result.rendered())
         if args.out:
             print(f"wrote {write_results_json(result, args.out)}")
@@ -293,7 +309,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         sweep = _sweep_spec(args)
         jobs = sweep.jobs()
         print(f"sweep {sweep.name}: {len(jobs)} jobs over {sweep.base.name!r}")
-        results = api.run_sweep(sweep)
+        results = api.run_sweep(sweep, jobs=args.jobs)
         for job, result in zip(jobs, results):
             data = result.data
             label = job.label() or "(base)"

@@ -62,3 +62,7 @@ class ExperimentError(ReproError):
 
 class FleetError(ReproError):
     """The batched fleet engine was misconfigured or driven incorrectly."""
+
+
+class ParallelError(ReproError):
+    """A parallel sweep job failed; the message names the job's overrides."""

@@ -25,7 +25,6 @@ from ..spec import (
     RunSpec,
     ScenarioSpec,
     SweepSpec,
-    build,
 )
 from .base import ExperimentResult, scaled
 
@@ -57,51 +56,65 @@ def _base_spec(n_hubs: int, days: int, seed: int) -> ScenarioSpec:
     )
 
 
-def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Sweep feeder capacity from uncongested to heavily congested."""
+def run(
+    *, scale: float = 1.0, seed: int = 0, jobs: int | None = None
+) -> ExperimentResult:
+    """Sweep feeder capacity from uncongested to heavily congested.
+
+    ``jobs`` fans the capacity levels out over worker processes via
+    :func:`repro.api.run_sweep`; the default stays serial, and both
+    executors book identical numbers.
+    """
+    # Local import: repro.api pulls the experiment registry package.
+    from .. import api
+
     n_hubs = scaled(DEFAULT_N_HUBS, scale, minimum=N_FEEDERS)
     days = scaled(DEFAULT_DAYS, scale, minimum=3)
     base = _base_spec(n_hubs, days, seed)
 
     # Reference: same feeder topology, unlimited capacity.
-    reference = build(base).execute()
-    peak_kw = float(reference.feeder_peak_import_kw.max())
+    reference = api.run(base).data
+    peak_kw = float(max(reference["feeder_peak_import_kw"]))
 
+    # The shrinking capacity levels as one sweep grid; the priority-
+    # allocation contrast at the tightest level runs as its own scenario.
+    tight_kw = CAPACITY_FRACTIONS[-1] * peak_kw
     grid_sweep = SweepSpec(
         base=base,
         parameters={
             "grid.feeder_capacity_kw": tuple(
                 fraction * peak_kw for fraction in CAPACITY_FRACTIONS
-            )
+            ),
         },
         name="fleet-grid-capacity",
     )
-    sweep = []
-    for fraction, job in zip(CAPACITY_FRACTIONS, grid_sweep.jobs()):
-        book = build(job.spec).execute()
-        sweep.append(
-            {
-                "capacity_fraction": fraction,
-                "feeder_capacity_kw": job.overrides["grid.feeder_capacity_kw"],
-                "network_profit": book.profit,
-                "voll_cost": book.voll_cost,
-                "import_shortfall_kwh": book.total_import_shortfall_kwh,
-                "unserved_kwh": book.total_unserved_kwh,
-                "congested_feeder_slots": book.congested_feeder_slots,
-                "feeder_shortfall_kwh": book.feeder_shortfall_kwh,
-            }
-        )
-
-    # Allocation-policy contrast at the tightest level.
-    tight_kw = CAPACITY_FRACTIONS[-1] * peak_kw
-    priority = build(
+    results = api.run_sweep(grid_sweep, jobs=jobs)
+    priority_data = api.run(
         base.with_overrides(
             {
                 "grid.feeder_capacity_kw": tight_kw,
                 "grid.allocation": "priority",
             }
         )
-    ).execute()
+    ).data
+
+    sweep = []
+    for fraction, result in zip(CAPACITY_FRACTIONS, results):
+        point = result.data
+        sweep.append(
+            {
+                "capacity_fraction": fraction,
+                "feeder_capacity_kw": point["sweep_overrides"][
+                    "grid.feeder_capacity_kw"
+                ],
+                "network_profit": point["network_profit"],
+                "voll_cost": point["network_voll_cost"],
+                "import_shortfall_kwh": point["import_shortfall_kwh"],
+                "unserved_kwh": point["network_unserved_kwh"],
+                "congested_feeder_slots": point["congested_feeder_slots"],
+                "feeder_shortfall_kwh": point["feeder_shortfall_kwh"],
+            }
+        )
 
     data = {
         "n_hubs": n_hubs,
@@ -109,21 +122,21 @@ def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         "n_feeders": N_FEEDERS,
         "voll_per_kwh": VOLL_PER_KWH,
         "base_spec": base.to_dict(),
-        "uncongested_profit": reference.profit,
+        "uncongested_profit": reference["network_profit"],
         "uncongested_peak_feeder_kw": peak_kw,
         "sweep": sweep,
         "priority_at_tightest": {
-            "network_profit": priority.profit,
-            "voll_cost": priority.voll_cost,
-            "import_shortfall_kwh": priority.total_import_shortfall_kwh,
-            "unserved_kwh": priority.total_unserved_kwh,
+            "network_profit": priority_data["network_profit"],
+            "voll_cost": priority_data["network_voll_cost"],
+            "import_shortfall_kwh": priority_data["import_shortfall_kwh"],
+            "unserved_kwh": priority_data["network_unserved_kwh"],
         },
     }
 
     lines = [
         f"fleet of {n_hubs} hubs x {days} days on {N_FEEDERS} shared feeders, "
         f"VoLL ${VOLL_PER_KWH:.2f}/kWh",
-        f"uncongested: profit ${reference.profit:,.0f}, "
+        f"uncongested: profit ${reference['network_profit']:,.0f}, "
         f"peak feeder draw {peak_kw:,.1f} kW",
         "capacity    profit      curtailed     unserved   congested slots",
     ]
@@ -135,8 +148,8 @@ def run(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         )
     lines.append(
         f"priority allocation @ {CAPACITY_FRACTIONS[-1]:.0%}: profit "
-        f"${priority.profit:,.0f}, curtailed "
-        f"{priority.total_import_shortfall_kwh:,.1f} kWh"
+        f"${priority_data['network_profit']:,.0f}, curtailed "
+        f"{priority_data['import_shortfall_kwh']:,.1f} kWh"
     )
     lines.append(
         "note: unserved energy is charged at the value of lost load "

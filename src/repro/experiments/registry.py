@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from ..errors import ExperimentError
@@ -48,12 +49,29 @@ def available_experiments() -> list[str]:
 
 
 def run_experiment(
-    experiment_id: str, *, scale: float = 1.0, seed: int = 0
+    experiment_id: str,
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    ``jobs`` requests process-parallel execution for sweep-style
+    experiments (currently ``fleet-grid``); passing it to a runner that
+    cannot parallelize raises instead of silently running serially.
+    """
     if experiment_id not in RUNNERS:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {', '.join(available_experiments())}"
         )
-    return RUNNERS[experiment_id](scale=scale, seed=seed)
+    runner = RUNNERS[experiment_id]
+    kwargs: dict[str, object] = {"scale": scale, "seed": seed}
+    if jobs is not None:
+        if "jobs" not in inspect.signature(runner).parameters:
+            raise ExperimentError(
+                f"experiment {experiment_id!r} does not support --jobs"
+            )
+        kwargs["jobs"] = jobs
+    return runner(**kwargs)

@@ -13,7 +13,11 @@ Layout
 ``params`` / ``inputs``
     Struct-of-arrays equipment parameters and exogenous traces.
 ``simulation``
-    The batched slot-stepping engine.
+    The batched slot-stepping engine (fused per-slot kernel).
+``planes``
+    Precomputed ``(n_hubs, horizon)`` planes of every action-independent
+    slot quantity — the cache the fused kernel and the congestion-aware
+    schedulers read instead of rebuilding per-slot state.
 ``costs``
     Fleet-level cost book (per-hub arrays + network totals).
 ``schedulers``
@@ -39,6 +43,7 @@ from .costs import FleetCostBook
 from .grid import ALLOCATION_POLICIES, FeederGroup
 from .inputs import FleetInputs, SlotTraces
 from .params import FleetParams
+from .planes import SlotPlanes
 from .schedulers import (
     FLEET_SCHEDULERS,
     FleetGreedyRenewableScheduler,
@@ -63,6 +68,7 @@ __all__ = [
     "FleetRuleBasedScheduler",
     "FleetScheduler",
     "FleetSimulation",
+    "SlotPlanes",
     "SlotTraces",
     "build_default_fleet",
     "fleet_inputs_from_scenarios",

@@ -84,14 +84,41 @@ class FleetCostBook:
 
     def record(self, t: int, **columns: np.ndarray) -> None:
         """Store one resolved slot (arrays of shape ``(n_hubs,)``)."""
+        self._check_slot(t)
+        for name, values in columns.items():
+            getattr(self, name)[:, t] = values
+        self._n_recorded += 1
+
+    def _check_slot(self, t: int) -> None:
         if t != self._n_recorded:
             raise FleetError(
                 f"slots must be recorded in order; expected {self._n_recorded}, got {t}"
             )
         if t >= self.horizon:
             raise FleetError(f"slot {t} beyond book horizon {self.horizon}")
-        for name, values in columns.items():
-            getattr(self, name)[:, t] = values
+
+    def begin_slot(self, t: int) -> dict[str, np.ndarray]:
+        """Writable column views of the *next* slot, for the fused kernel.
+
+        :meth:`FleetSimulation.step` resolves each slot directly into the
+        book's storage through these views instead of materialising
+        per-step temporaries and copying them in via :meth:`record`. The
+        slot only becomes visible to the aggregates once
+        :meth:`commit_slot` runs, so a step that raises mid-flight leaves
+        the book's recorded range untouched.
+        """
+        self._check_slot(t)
+        columns: dict[str, np.ndarray] = {
+            "action": self.action[:, t],
+            "blackout": self.blackout[:, t],
+        }
+        for name in self._FLOAT_COLUMNS:
+            columns[name] = getattr(self, name)[:, t]
+        return columns
+
+    def commit_slot(self, t: int) -> None:
+        """Mark the slot handed out by :meth:`begin_slot` as recorded."""
+        self._check_slot(t)
         self._n_recorded += 1
 
     # ------------------------------------------------------------------ #

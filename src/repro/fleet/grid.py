@@ -101,6 +101,8 @@ class FeederGroup:
         object.__setattr__(self, "assignment", assignment)
         object.__setattr__(self, "import_capacity_kw", capacity)
         object.__setattr__(self, "priority", priority)
+        # Cached: schedulers consult this every slot on the hot path.
+        object.__setattr__(self, "_is_unlimited", bool(np.isinf(capacity).all()))
 
     # ------------------------------------------------------------------ #
     # Construction                                                         #
@@ -178,7 +180,7 @@ class FeederGroup:
     @property
     def is_unlimited(self) -> bool:
         """True when no feeder limit can ever bind (the uncoupled default)."""
-        return bool(np.isinf(self.import_capacity_kw).all())
+        return self._is_unlimited
 
     def capacity_at(self, t: int) -> np.ndarray:
         """``(n_feeders,)`` import capacity for slot ``t``."""

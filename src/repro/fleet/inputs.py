@@ -100,10 +100,20 @@ class FleetInputs:
         )
 
     def outage_mask(self) -> np.ndarray:
-        """Boolean ``(n_hubs, horizon)`` blackout mask (all-False when None)."""
-        if self.outage is None:
-            return np.zeros((self.n_hubs, self.horizon), dtype=bool)
-        return np.asarray(self.outage, dtype=bool)
+        """Boolean ``(n_hubs, horizon)`` blackout mask (all-False when None).
+
+        The materialized mask is cached on the instance: the engine and
+        its :class:`~repro.fleet.planes.SlotPlanes` both consume it, and
+        the traces are frozen, so one copy serves every caller.
+        """
+        cached = getattr(self, "_outage_mask", None)
+        if cached is None:
+            if self.outage is None:
+                cached = np.zeros((self.n_hubs, self.horizon), dtype=bool)
+            else:
+                cached = np.asarray(self.outage, dtype=bool)
+            object.__setattr__(self, "_outage_mask", cached)
+        return cached
 
     @classmethod
     def from_hub_inputs(cls, inputs: Sequence[HubInputs]) -> "FleetInputs":

@@ -71,17 +71,33 @@ class FleetParams:
     def bs_power_kw(self, load_rate: np.ndarray) -> np.ndarray:
         """Eq. 1 cluster draw per hub for load fractions ``load_rate``.
 
-        One shared definition for the engine, the greedy scheduler, and
-        the feeder congestion signal, so every consumer prices the BS load
-        with bit-identical arithmetic.
+        One shared definition for the engine, the plane cache, and the
+        feeder congestion signal, so every consumer prices the BS load
+        with bit-identical arithmetic. ``load_rate`` may be one slot
+        (``(n_hubs,)``) or a full trace block (``(n_hubs, horizon)``);
+        2-D inputs broadcast the per-hub parameters over the horizon.
         """
-        return self.n_base_stations * (
-            self.bs_p_min_kw + load_rate * (self.bs_p_max_kw - self.bs_p_min_kw)
+        load_rate = np.asarray(load_rate)
+        n_bs, p_min, p_max = (
+            self.n_base_stations,
+            self.bs_p_min_kw,
+            self.bs_p_max_kw,
         )
+        if load_rate.ndim == 2:
+            n_bs, p_min, p_max = n_bs[:, None], p_min[:, None], p_max[:, None]
+        return n_bs * (p_min + load_rate * (p_max - p_min))
 
     def cs_power_kw(self, occupied: np.ndarray) -> np.ndarray:
-        """Eq. 2 charging-station draw per hub for occupancy ``occupied``."""
-        return occupied * self.cs_rate_kw
+        """Eq. 2 charging-station draw per hub for occupancy ``occupied``.
+
+        Accepts one slot or a ``(n_hubs, horizon)`` block like
+        :meth:`bs_power_kw`.
+        """
+        occupied = np.asarray(occupied)
+        rate = self.cs_rate_kw
+        if occupied.ndim == 2:
+            rate = rate[:, None]
+        return occupied * rate
 
     @classmethod
     def from_hub_configs(cls, configs: Sequence[HubConfig]) -> "FleetParams":

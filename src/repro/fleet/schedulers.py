@@ -60,16 +60,10 @@ def suppress_infeasible_charges(
     if sim.feeders.is_unlimited:
         return actions
     available = sim.available_import_kw()
-    slot = sim.inputs.slot(sim.t)
-    params = sim.params
-    onsite_surplus = np.maximum(
-        slot.pv_power_kw
-        + slot.wt_power_kw
-        - params.bs_power_kw(slot.load_rate)
-        - params.cs_power_kw(slot.occupied),
-        0.0,
-    )
-    extra_import = np.maximum(params.charge_rate_kw - onsite_surplus, 0.0)
+    # Both the headroom signal and the on-site surplus come from the
+    # engine's SlotPlanes cache — nothing is rebuilt per step.
+    onsite_surplus = sim.planes.onsite_surplus_kw[:, sim.t]
+    extra_import = np.maximum(sim.params.charge_rate_kw - onsite_surplus, 0.0)
     return np.where(
         (actions == CHARGE) & (extra_import > available), IDLE, actions
     )
@@ -153,15 +147,13 @@ class FleetRuleBasedScheduler(FleetScheduler):
         self._expensive: np.ndarray | None = None
 
     def reset(self, sim: FleetSimulation) -> None:
-        # Per-row np.quantile calls keep thresholds bit-identical to the
-        # scalar scheduler's; this runs once per fleet run.
+        # One axis-vectorized quantile per threshold; NumPy's per-row
+        # results are bit-identical to N separate np.quantile(row) calls,
+        # so thresholds still match the scalar scheduler's exactly (the
+        # engine equivalence suite compares whole scheduled runs).
         prices = sim.inputs.rtp_kwh
-        self._cheap = np.array(
-            [float(np.quantile(row, self.cheap_quantile)) for row in prices]
-        )
-        self._expensive = np.array(
-            [float(np.quantile(row, self.expensive_quantile)) for row in prices]
-        )
+        self._cheap = np.quantile(prices, self.cheap_quantile, axis=1)
+        self._expensive = np.quantile(prices, self.expensive_quantile, axis=1)
 
     def __call__(self, sim: FleetSimulation) -> np.ndarray:
         if self._cheap is None or self._expensive is None:
@@ -194,11 +186,10 @@ class FleetGreedyRenewableScheduler(FleetScheduler):
         self._threshold: np.ndarray | None = None
 
     def reset(self, sim: FleetSimulation) -> None:
-        self._threshold = np.array(
-            [
-                float(np.quantile(row, self.expensive_quantile))
-                for row in sim.inputs.rtp_kwh
-            ]
+        # Axis-vectorized like the rule-based thresholds (bit-identical
+        # per row to separate np.quantile calls).
+        self._threshold = np.quantile(
+            sim.inputs.rtp_kwh, self.expensive_quantile, axis=1
         )
 
     def __call__(self, sim: FleetSimulation) -> np.ndarray:
@@ -206,7 +197,7 @@ class FleetGreedyRenewableScheduler(FleetScheduler):
             self.reset(sim)
         t = sim.t
         renewables = sim.inputs.pv_power_kw[:, t] + sim.inputs.wt_power_kw[:, t]
-        bs_load = sim.params.bs_power_kw(sim.inputs.load_rate[:, t])
+        bs_load = sim.planes.p_bs_kw[:, t]
         actions = np.where(
             renewables > bs_load,
             CHARGE,

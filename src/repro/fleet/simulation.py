@@ -8,9 +8,15 @@ Eq. 6 emergency reserve carrying the base stations) — for **all hubs at
 once** over :class:`~repro.fleet.params.FleetParams` /
 :class:`~repro.fleet.inputs.FleetInputs` struct-of-arrays state.
 
-Every expression mirrors the scalar engine's order of operations
-(``BatteryPack._charge`` / ``_discharge`` / ``emergency_supply``,
-``EctHub.power_balance``, ``compute_slot_ledger``), so a batched run is
+The step is a **fused kernel**: every action-independent quantity (BS/CS
+draw, prices, blackout deficits, the feeder congestion signal) is read
+from the :class:`~repro.fleet.planes.SlotPlanes` cache computed once per
+engine, the per-step arithmetic runs through reusable ``out=`` buffers
+instead of fresh temporaries, and the Eq. 6 blackout branch is evaluated
+only on the hub rows whose outage mask fires that slot. Every expression
+still mirrors the scalar engine's order of operations (``BatteryPack.
+_charge`` / ``_discharge`` / ``emergency_supply``, ``EctHub.
+power_balance``, ``compute_slot_ledger``), so a batched run stays
 numerically equivalent to N independent scalar runs; the property-style
 test in ``tests/test_fleet.py`` enforces agreement within atol 1e-9.
 
@@ -26,6 +32,8 @@ bit-identical to the uncoupled one.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from ..energy.battery import CHARGE, DISCHARGE, IDLE
@@ -34,9 +42,13 @@ from .costs import FleetCostBook
 from .grid import FeederGroup
 from .inputs import FleetInputs
 from .params import FleetParams
+from .planes import SlotPlanes
 
 #: SoC-bound tolerance, identical to the scalar ``BatteryPack`` clipping.
 _SOC_EPS = 1e-12
+
+#: The legal action set, used by the full (non-hot-path) validation.
+_ACTIONS = (DISCHARGE, IDLE, CHARGE)
 
 
 class FleetSimulation:
@@ -72,18 +84,89 @@ class FleetSimulation:
         # Skip the allocation step entirely when no limit can ever bind, so
         # the uncoupled default pays nothing for the coupling machinery.
         self._coupled = not self.feeders.is_unlimited
-        self._outage = inputs.outage_mask()
+        #: Action-independent slot planes, shared across resets.
+        self.planes = SlotPlanes(params, inputs)
+        self._outage = self.planes.outage
         self._initial_soc = self._as_soc_fraction(initial_soc_fraction)
         self.voll_per_kwh = float(voll_per_kwh)
-        self.book = FleetCostBook(
-            params.n_hubs,
-            inputs.horizon,
-            feeders=self.feeders,
-            voll_per_kwh=self.voll_per_kwh,
-        )
+        self._horizon = inputs.horizon
+        self._precompute_constants()
+        self._allocate_buffers()
+        self.book = self._new_book()
         self._t = 0
         self.soc_kwh = self._reset_soc(self._initial_soc)
         self.throughput_kwh = np.zeros(params.n_hubs)
+
+    def _new_book(self) -> FleetCostBook:
+        """A fresh cost book with the exogenous columns pre-filled.
+
+        The BS draw, renewables, prices, blackout mask, and the
+        non-blackout CS draw/revenue never depend on actions, so they are
+        bulk-copied from the plane cache once per run instead of column
+        by column on every step; the kernel only *fixes up* blackout rows.
+        Unrecorded slots simply hold their (deterministic) future values —
+        every aggregate reads the recorded range only.
+        """
+        book = FleetCostBook(
+            self.params.n_hubs,
+            self._horizon,
+            feeders=self.feeders,
+            voll_per_kwh=self.voll_per_kwh,
+        )
+        planes = self.planes
+        book.blackout[:] = planes.outage
+        book.p_bs_kw[:] = planes.p_bs_kw
+        book.p_cs_kw[:] = planes.p_cs_kw
+        book.p_pv_kw[:] = self.inputs.pv_power_kw
+        book.p_wt_kw[:] = self.inputs.wt_power_kw
+        book.rtp_kwh[:] = self.inputs.rtp_kwh
+        book.srtp_kwh[:] = planes.srtp_kwh
+        book.revenue[:] = planes.revenue
+        return book
+
+    def _precompute_constants(self) -> None:
+        """Action- and state-independent per-hub scalars of the battery step."""
+        params = self.params
+        dt = params.dt_h
+        # Charge path: the stored energy a full-rate charge requests.
+        self._stored_requested = params.charge_rate_kw * dt * params.charge_efficiency
+        # Discharge path, both efficiency conventions: paper-exact moves
+        # SoC by η·R; physical draws R/η (see BatteryPack._discharge).
+        eta_dch = params.discharge_efficiency
+        requested_bus_kwh = params.discharge_rate_kw * dt
+        self._drawn_requested = np.where(
+            params.paper_exact, requested_bus_kwh * eta_dch, requested_bus_kwh / eta_dch
+        )
+        self._bus_per_drawn = np.where(params.paper_exact, 1.0, eta_dch)
+        # Eq. 6 reserve efficiency (blackout branch + feeder shortfalls).
+        self._reserve_eta = np.where(params.paper_exact, 1.0, eta_dch)
+        # Interconnection limit: 0 disables the check (GridConnection rule).
+        self._limit_active = params.import_limit_kw > 0.0
+        self._any_import_limit = bool(self._limit_active.any())
+
+    def _allocate_buffers(self) -> None:
+        """Reusable ``out=`` buffers so the hot step allocates nothing."""
+        n = self.params.n_hubs
+
+        def f():
+            return np.empty(n)
+
+        self._buf = SimpleNamespace(
+            headroom=f(),
+            available=f(),
+            stored=f(),
+            drawn=f(),
+            bus_charge_kwh=f(),
+            bus_discharge_kwh=f(),
+            new_soc=f(),
+            residual=f(),
+            throughput=f(),
+            tmp=f(),
+            mask=np.empty(n, dtype=bool),
+            charging=np.empty(n, dtype=bool),
+            discharging=np.empty(n, dtype=bool),
+            idle_mask=np.empty(n, dtype=bool),
+        )
 
     def _as_soc_fraction(self, fraction: float | np.ndarray) -> np.ndarray:
         fractions = np.broadcast_to(
@@ -119,12 +202,12 @@ class FleetSimulation:
     @property
     def horizon(self) -> int:
         """Total number of slots."""
-        return self.inputs.horizon
+        return self._horizon
 
     @property
     def done(self) -> bool:
         """Whether the horizon has been exhausted."""
-        return self._t >= self.horizon
+        return self._t >= self._horizon
 
     @property
     def soc_fraction(self) -> np.ndarray:
@@ -132,14 +215,13 @@ class FleetSimulation:
         return self.soc_kwh / self.params.capacity_kwh
 
     def reset(self, *, soc_fraction: float | np.ndarray | None = None) -> None:
-        """Rewind to slot 0 and reset batteries and the fleet cost book."""
+        """Rewind to slot 0 and reset batteries and the fleet cost book.
+
+        The :class:`SlotPlanes` cache and step buffers are retained — they
+        depend only on the immutable params/inputs, not on the run.
+        """
         self._t = 0
-        self.book = FleetCostBook(
-            self.params.n_hubs,
-            self.inputs.horizon,
-            feeders=self.feeders,
-            voll_per_kwh=self.voll_per_kwh,
-        )
+        self.book = self._new_book()
         fractions = (
             self._initial_soc
             if soc_fraction is None
@@ -152,11 +234,32 @@ class FleetSimulation:
     # Stepping                                                             #
     # ------------------------------------------------------------------ #
 
+    def _check_actions(self, actions: np.ndarray) -> None:
+        """Cheap exact membership check for {-1, 0, 1} (no ``np.isin``).
+
+        Integer dtypes only need a min/max range check; float dtypes use
+        three equality compares (0.5 or NaN never equals a legal action).
+        Exotic dtypes fall back to the full ``np.isin``.
+        """
+        kind = actions.dtype.kind
+        if kind in "iub":
+            if int(actions.min()) < -1 or int(actions.max()) > 1:
+                raise FleetError("battery actions must be -1, 0, or 1")
+        elif kind == "f":
+            valid = (
+                (actions == DISCHARGE) | (actions == IDLE) | (actions == CHARGE)
+            )
+            if not valid.all():
+                raise FleetError("battery actions must be -1, 0, or 1")
+        elif not np.isin(actions, _ACTIONS).all():
+            raise FleetError("battery actions must be -1, 0, or 1")
+
     def step(self, actions: np.ndarray) -> dict[str, np.ndarray]:
         """Apply one battery action per hub to the current slot.
 
         ``actions`` has shape ``(n_hubs,)`` with entries in {−1, 0, 1}.
-        Returns the recorded slot columns (arrays of shape ``(n_hubs,)``).
+        Returns the recorded slot columns as read-side views into the
+        cost book (arrays of shape ``(n_hubs,)``).
         """
         if self.done:
             raise FleetError(f"fleet horizon of {self.horizon} slots exhausted")
@@ -165,215 +268,183 @@ class FleetSimulation:
             raise FleetError(
                 f"actions must have shape ({self.n_hubs},), got {actions.shape}"
             )
-        if not np.isin(actions, (DISCHARGE, IDLE, CHARGE)).all():
-            raise FleetError("battery actions must be -1, 0, or 1")
+        self._check_actions(actions)
 
         t = self._t
         params = self.params
         dt = params.dt_h
-        blackout = self._outage[:, t]
+        planes = self.planes
+        b = self._buf
+        soc = self.soc_kwh
+        book = self.book
+        # The slot is resolved directly into the book's storage through
+        # these writable column views; it only becomes visible to the
+        # aggregates at commit_slot, so a mid-step raise books nothing.
+        dest = book.begin_slot(t)
+        applied = dest["action"]
+        p_bp = dest["p_bp_kw"]
+        p_grid = dest["p_grid_kw"]
+        surplus = dest["surplus_kw"]
+        unserved = dest["unserved_kwh"]
 
-        # Shared per-slot quantities (same formulas as the scalar engine).
-        slot = self.inputs.slot(t)
-        p_bs = params.bs_power_kw(slot.load_rate)
-        rtp = slot.rtp_kwh
-        srtp = params.cs_base_price_kwh * (1.0 - slot.discount)
-        p_pv = slot.pv_power_kw
-        p_wt = slot.wt_power_kw
+        # --- Charge path (BatteryPack._charge): clip the stored energy to
+        # the SoC_max headroom; a fully-clipped request degrades to IDLE.
+        np.subtract(params.soc_max_kwh, soc, out=b.headroom)
+        np.maximum(b.headroom, 0.0, out=b.headroom)
+        np.add(b.headroom, _SOC_EPS, out=b.tmp)
+        np.greater(self._stored_requested, b.tmp, out=b.mask)
+        np.copyto(b.stored, self._stored_requested)
+        np.copyto(b.stored, b.headroom, where=b.mask)
+        np.equal(actions, CHARGE, out=b.charging)
+        np.greater(b.stored, 0.0, out=b.mask)
+        np.logical_and(b.charging, b.mask, out=b.charging)
+        np.logical_not(b.charging, out=b.idle_mask)
+        np.copyto(b.stored, 0.0, where=b.idle_mask)
+        # stored is zero wherever not charging, so the plain divide equals
+        # the old where(charging, stored/η, 0) select.
+        np.divide(b.stored, params.charge_efficiency, out=b.bus_charge_kwh)
 
-        normal = self._normal_branch(actions, p_bs, p_pv, p_wt, t, dt)
-        dark = self._blackout_branch(p_bs, p_pv, p_wt, dt)
+        # --- Discharge path (BatteryPack._discharge), both conventions.
+        np.subtract(soc, params.soc_min_kwh, out=b.available)
+        np.maximum(b.available, 0.0, out=b.available)
+        np.add(b.available, _SOC_EPS, out=b.tmp)
+        np.greater(self._drawn_requested, b.tmp, out=b.mask)
+        np.copyto(b.drawn, self._drawn_requested)
+        np.copyto(b.drawn, b.available, where=b.mask)
+        np.equal(actions, DISCHARGE, out=b.discharging)
+        np.greater(b.drawn, 0.0, out=b.mask)
+        np.logical_and(b.discharging, b.mask, out=b.discharging)
+        np.logical_not(b.discharging, out=b.idle_mask)
+        np.copyto(b.drawn, 0.0, where=b.idle_mask)
+        np.multiply(b.drawn, self._bus_per_drawn, out=b.bus_discharge_kwh)
 
-        # Select per hub; battery state advances through exactly one branch.
-        applied_action = np.where(blackout, IDLE, normal["action"])
-        p_cs = np.where(blackout, 0.0, normal["p_cs_kw"])
-        p_bp = np.where(blackout, dark["p_bp_kw"], normal["p_bp_kw"])
-        p_grid = np.where(blackout, 0.0, normal["p_grid_kw"])
-        surplus = np.where(blackout, dark["surplus_kw"], normal["surplus_kw"])
-        unserved = np.where(blackout, dark["unserved_kwh"], 0.0)
-        soc = np.where(blackout, dark["soc_kwh"], normal["soc_kwh"])
-        throughput = np.where(
-            blackout, dark["throughput_kwh"], normal["throughput_kwh"]
-        )
+        # Applied action: requested unless the clip degraded it to IDLE.
+        np.copyto(applied, IDLE)
+        np.copyto(applied, CHARGE, where=b.charging)
+        np.copyto(applied, DISCHARGE, where=b.discharging)
+
+        # Battery bus power and the SoC advance.
+        np.subtract(b.bus_charge_kwh, b.bus_discharge_kwh, out=p_bp)
+        np.divide(p_bp, dt, out=p_bp)
+        np.add(soc, b.stored, out=b.new_soc)
+        np.subtract(b.new_soc, b.drawn, out=b.new_soc)
+
+        # --- Eq. 7 (EctHub.power_balance): import the residual, curtail
+        # surplus. The action-independent part comes from the plane cache.
+        np.add(planes.residual_static_kw[:, t], p_bp, out=b.residual)
+        np.maximum(b.residual, 0.0, out=p_grid)
+        np.negative(b.residual, out=surplus)
+        np.maximum(surplus, 0.0, out=surplus)
+        np.add(b.stored, b.drawn, out=b.throughput)
+
+        # The exogenous columns (BS/CS draw, renewables, prices, blackout
+        # mask, non-blackout revenue) were bulk-filled at reset; the
+        # unserved/shortfall columns start zeroed and are only re-zeroed
+        # when a branch below may write them.
+        outage_now = bool(planes.outage_any[t])
+        coupled = self._coupled
+        if outage_now or coupled:
+            np.copyto(unserved, 0.0)
+
+        # --- Blackout branch, only on the rows whose outage fires now
+        # (HubSimulation._blackout_slot + BatteryPack.emergency_supply:
+        # charging suspended, the action overridden, SoC allowed below
+        # SoC_min). Most slots skip this block entirely.
+        if outage_now:
+            dark = np.flatnonzero(planes.outage[:, t])
+            dest["p_cs_kw"][dark] = 0.0
+            dest["revenue"][dark] = 0.0
+
+            soc_pre = soc[dark]
+            deficit_kwh = planes.blackout_deficit_kwh[dark, t]
+            eta = self._reserve_eta[dark]
+            drawn_dark = np.minimum(deficit_kwh / eta, soc_pre)
+            served_kwh = drawn_dark * eta
+            p_bp[dark] = np.where(served_kwh > 0.0, -served_kwh / dt, 0.0)
+            p_grid[dark] = 0.0
+            surplus[dark] = planes.blackout_surplus_kw[dark, t]
+            b.new_soc[dark] = soc_pre - drawn_dark
+            b.throughput[dark] = drawn_dark
+            unserved[dark] = deficit_kwh - served_kwh
+            applied[dark] = IDLE
 
         # The per-hub interconnection limit applies to the *requested*
-        # import, before any feeder-level curtailment.
-        self._check_import_limit(p_grid, blackout)
+        # import, before any feeder-level curtailment (blackout rows
+        # request 0 kW, so a positive limit can never fire there).
+        if self._any_import_limit:
+            np.greater(p_grid, params.import_limit_kw, out=b.mask)
+            np.logical_and(b.mask, self._limit_active, out=b.mask)
+            if b.mask.any():
+                hub = int(np.argmax(b.mask))
+                raise GridError(
+                    f"hub {hub}: import of {p_grid[hub]:.3f} kW exceeds the "
+                    f"interconnection limit of "
+                    f"{params.import_limit_kw[hub]:.3f} kW"
+                )
 
-        shortfall_kw = np.zeros(self.n_hubs)
-        if self._coupled:
+        if coupled:
             # Resolve feeder contention; the curtailed import is served
             # from the Eq. 6 reserve exactly like a blackout deficit
             # (blackout hubs request 0 import, so they pass through).
-            p_grid, shortfall_kw = self.feeders.allocate(p_grid, t)
+            granted, shortfall_kw = self.feeders.allocate(p_grid, t)
+            np.copyto(p_grid, granted)
+            np.copyto(dest["import_shortfall_kw"], shortfall_kw)
             shortfall_kwh = shortfall_kw * dt
-            eta = np.where(params.paper_exact, 1.0, params.discharge_efficiency)
-            drawn = np.minimum(shortfall_kwh / eta, soc)
-            served_kwh = drawn * eta
-            p_bp = p_bp - np.where(drawn > 0.0, served_kwh / dt, 0.0)
-            soc = soc - drawn
-            throughput = throughput + drawn
+            eta = self._reserve_eta
+            drawn_short = np.minimum(shortfall_kwh / eta, b.new_soc)
+            served_kwh = drawn_short * eta
+            p_bp -= np.where(drawn_short > 0.0, served_kwh / dt, 0.0)
+            b.new_soc -= drawn_short
+            b.throughput += drawn_short
             # (x/η)·η can exceed x by one ulp — never book negative unserved.
-            unserved = unserved + np.maximum(shortfall_kwh - served_kwh, 0.0)
+            unserved += np.maximum(shortfall_kwh - served_kwh, 0.0)
 
-        self.soc_kwh = soc
-        self.throughput_kwh = self.throughput_kwh + throughput
+        # Eqs. 8, 9, 11 — identical expressions to compute_slot_ledger.
+        np.multiply(p_grid, planes.rtp_dt[:, t], out=dest["grid_cost"])
+        np.not_equal(applied, IDLE, out=b.mask)
+        np.multiply(b.mask, params.c_bp_per_slot, out=dest["bp_cost"])
 
-        columns = {
-            "action": applied_action,
-            "blackout": blackout,
-            "p_bs_kw": p_bs,
-            "p_cs_kw": p_cs,
-            "p_bp_kw": p_bp,
-            "p_pv_kw": p_pv,
-            "p_wt_kw": p_wt,
-            "p_grid_kw": p_grid,
-            "surplus_kw": surplus,
-            "rtp_kwh": rtp,
-            "srtp_kwh": srtp,
-            "soc_kwh": self.soc_kwh,
-            # Eqs. 8, 9, 11 — identical expressions to compute_slot_ledger.
-            "grid_cost": p_grid * dt * rtp,
-            "bp_cost": np.where(applied_action != IDLE, 1.0, 0.0)
-            * params.c_bp_per_slot,
-            "revenue": p_cs * dt * srtp,
-            "unserved_kwh": unserved,
-            "import_shortfall_kw": shortfall_kw,
-        }
-        self.book.record(t, **columns)
+        # Commit the battery state as fresh arrays (like the PR-3 engine)
+        # so caller-held `soc_kwh`/`throughput_kwh` snapshots stay valid
+        # forever; the scratch buffers are reused next step.
+        self.soc_kwh = b.new_soc.copy()
+        np.copyto(dest["soc_kwh"], self.soc_kwh)
+        self.throughput_kwh = self.throughput_kwh + b.throughput
+
+        book.commit_slot(t)
         self._t += 1
-        return columns
-
-    def _normal_branch(
-        self,
-        actions: np.ndarray,
-        p_bs: np.ndarray,
-        p_pv: np.ndarray,
-        p_wt: np.ndarray,
-        t: int,
-        dt: float,
-    ) -> dict[str, np.ndarray]:
-        """Vectorized BatteryPack.step + Eq. 7 balance for non-blackout hubs."""
-        params = self.params
-        soc = self.soc_kwh
-
-        # Charge path (BatteryPack._charge): clip the stored energy to the
-        # SoC_max headroom; a fully-clipped request degrades to IDLE.
-        eta_ch = params.charge_efficiency
-        stored_requested = params.charge_rate_kw * dt * eta_ch
-        headroom = np.maximum(params.soc_max_kwh - soc, 0.0)
-        stored = np.where(
-            stored_requested > headroom + _SOC_EPS, headroom, stored_requested
-        )
-        charging = (actions == CHARGE) & (stored > 0.0)
-        stored = np.where(charging, stored, 0.0)
-        bus_charge_kwh = np.where(charging, stored / eta_ch, 0.0)
-
-        # Discharge path (BatteryPack._discharge), both efficiency
-        # conventions: paper-exact moves SoC by η·R; physical draws R/η.
-        eta_dch = params.discharge_efficiency
-        requested_bus_kwh = params.discharge_rate_kw * dt
-        drawn_requested = np.where(
-            params.paper_exact,
-            requested_bus_kwh * eta_dch,
-            requested_bus_kwh / eta_dch,
-        )
-        bus_per_drawn = np.where(params.paper_exact, 1.0, eta_dch)
-        available = np.maximum(soc - params.soc_min_kwh, 0.0)
-        drawn = np.where(
-            drawn_requested > available + _SOC_EPS, available, drawn_requested
-        )
-        discharging = (actions == DISCHARGE) & (drawn > 0.0)
-        drawn = np.where(discharging, drawn, 0.0)
-        bus_discharge_kwh = np.where(discharging, drawn * bus_per_drawn, 0.0)
-
-        applied = np.where(
-            charging, CHARGE, np.where(discharging, DISCHARGE, IDLE)
-        )
-        p_bp = (bus_charge_kwh - bus_discharge_kwh) / dt
-        new_soc = soc + stored - drawn
-
-        # Eq. 7 (EctHub.power_balance): import the residual, curtail surplus.
-        p_cs = params.cs_power_kw(self.inputs.occupied[:, t])
-        residual = p_bs + p_cs + p_bp - p_pv - p_wt
-        p_grid = np.where(residual >= 0.0, residual, 0.0)
-        surplus = np.where(residual >= 0.0, 0.0, -residual)
-
-        return {
-            "action": applied,
-            "p_cs_kw": p_cs,
-            "p_bp_kw": p_bp,
-            "p_grid_kw": p_grid,
-            "surplus_kw": surplus,
-            "soc_kwh": new_soc,
-            "throughput_kwh": stored + drawn,
-        }
-
-    def _blackout_branch(
-        self, p_bs: np.ndarray, p_pv: np.ndarray, p_wt: np.ndarray, dt: float
-    ) -> dict[str, np.ndarray]:
-        """Grid down: renewables first, then the Eq. 6 emergency reserve.
-
-        Mirrors ``HubSimulation._blackout_slot`` + ``BatteryPack.
-        emergency_supply``: charging suspended, the scheduled action
-        overridden, and the battery allowed below ``SoC_min``.
-        """
-        params = self.params
-        soc = self.soc_kwh
-
-        renewable = p_pv + p_wt
-        deficit_kwh = np.maximum(p_bs - renewable, 0.0) * dt
-        eta = np.where(params.paper_exact, 1.0, params.discharge_efficiency)
-        drawn = np.minimum(deficit_kwh / eta, soc)
-        served_kwh = drawn * eta
-        return {
-            "p_bp_kw": np.where(served_kwh > 0.0, -served_kwh / dt, 0.0),
-            "surplus_kw": np.maximum(renewable - p_bs, 0.0),
-            "soc_kwh": soc - drawn,
-            "throughput_kwh": drawn,
-            "unserved_kwh": deficit_kwh - served_kwh,
-        }
+        # The views were the kernel's write targets; hand them out
+        # read-only so a caller cannot silently corrupt the booked slot.
+        for column in dest.values():
+            column.flags.writeable = False
+        return dest
 
     def available_import_kw(self) -> np.ndarray:
         """Per-hub feeder headroom signal for the *current* slot.
 
         Each hub's action-independent grid draw (BS + CS load net of
-        renewables, zero during a blackout) is charged against its feeder;
-        the remaining capacity is fair-shared over the feeder's members.
+        renewables, zero during a blackout) is read from the
+        :class:`SlotPlanes` cache and charged against its feeder; the
+        remaining capacity is fair-shared over the feeder's members.
         Congestion-aware schedulers charge only when the battery's extra
         import fits this signal. Infinite under the unlimited default.
         """
         if self.done:
             raise FleetError(f"fleet horizon of {self.horizon} slots exhausted")
         t = self._t
-        slot = self.inputs.slot(t)
-        base = np.maximum(
-            self.params.bs_power_kw(slot.load_rate)
-            + self.params.cs_power_kw(slot.occupied)
-            - slot.pv_power_kw
-            - slot.wt_power_kw,
-            0.0,
+        return self.feeders.available_import_kw(
+            self.planes.base_import_kw[:, t], t
         )
-        base = np.where(self._outage[:, t], 0.0, base)
-        return self.feeders.available_import_kw(base, t)
-
-    def _check_import_limit(self, p_grid: np.ndarray, blackout: np.ndarray) -> None:
-        """GridConnection's interconnection-limit check, batched."""
-        limit = self.params.import_limit_kw
-        over = ~blackout & (limit > 0.0) & (p_grid > limit)
-        if over.any():
-            hub = int(np.argmax(over))
-            raise GridError(
-                f"hub {hub}: import of {p_grid[hub]:.3f} kW exceeds the "
-                f"interconnection limit of {limit[hub]:.3f} kW"
-            )
 
     def run(self, scheduler) -> FleetCostBook:
         """Run the remaining horizon under ``scheduler(simulation) -> actions``.
 
         ``scheduler`` may expose a ``reset(simulation)`` hook (the fleet
-        schedulers do); it is invoked once before stepping. Returns the
-        completed :class:`FleetCostBook`.
+        schedulers do); it is invoked once before stepping. Every action
+        batch still gets exact membership validation — the per-step check
+        in :meth:`_check_actions` rejects everything ``np.isin`` would,
+        just without its sort-based cost. Returns the completed
+        :class:`FleetCostBook`.
         """
         reset_hook = getattr(scheduler, "reset", None)
         if callable(reset_hook):

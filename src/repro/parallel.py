@@ -1,0 +1,95 @@
+"""Process-parallel sweep execution: one worker pool, spec-JSON payloads.
+
+``api.run_sweep`` grids are embarrassingly parallel — every job is an
+independent :class:`~repro.spec.scenario.ScenarioSpec`, and PR 3 made
+those specs plain serializable data. This module ships each job to a
+:class:`concurrent.futures.ProcessPoolExecutor` worker as its spec's JSON
+text; the worker compiles and runs it exactly like the serial path
+(``repro.api.run``) and pickles the :class:`~repro.experiments.base.
+ExperimentResult` back. Because the compiler is deterministic and every
+worker executes the same NumPy arithmetic the serial loop would, a
+parallel sweep is **byte-identical** to its serial twin — results are
+re-ordered by job index before they are returned, so even the ``--out``
+JSON matches byte for byte (test-enforced).
+
+Guarantees:
+
+* deterministic result ordering by job index, whatever finishes first;
+* ``jobs=0`` resolves to ``os.cpu_count()``;
+* a failing job raises :class:`~repro.errors.ParallelError` naming the
+  job's overrides (so a 100-job grid tells you *which* point died), with
+  the worker's original exception chained as ``__cause__``;
+* the pool never outlives the call (context-managed, failures included).
+
+When to parallelize: each worker pays a process fork plus a result
+pickle, so tiny grids (a handful of sub-second jobs) are usually faster
+serial. The sweet spot is many jobs x non-trivial horizons — see the
+``parallel-sweep`` benchmark for measured crossover numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from .errors import ConfigError, ParallelError
+from .experiments.base import ExperimentResult
+from .spec.sweep import SweepJob
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` request: ``None``→1 (serial), ``0``→all cores."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _run_payload(payload: str) -> ExperimentResult:
+    """Worker entry point: spec JSON in, completed result out."""
+    # Local imports keep the worker bootstrap light under spawn-style
+    # start methods (under fork they are already-cached module lookups).
+    from . import api
+    from .spec.scenario import ScenarioSpec
+
+    return api.run(ScenarioSpec.from_json(payload))
+
+
+def run_jobs_parallel(
+    expanded: list[SweepJob], n_workers: int
+) -> list[ExperimentResult]:
+    """Run pre-expanded sweep jobs over a worker pool, ordered by index.
+
+    The caller (``api.run_sweep``) expands the grid once and tags the
+    returned results, so serial and parallel sweeps share one code path
+    for everything except the executor.
+    """
+    if not expanded:
+        return []
+    results: list[ExperimentResult | None] = [None] * len(expanded)
+    workers = min(n_workers, len(expanded))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        future_jobs = {
+            pool.submit(_run_payload, job.spec.to_json()): job
+            for job in expanded
+        }
+        # Collect in completion order so the *first* failure is observed
+        # as soon as it happens; indices restore job order below.
+        for future in as_completed(future_jobs):
+            job = future_jobs[future]
+            try:
+                results[job.index] = future.result()
+            except Exception as error:
+                # Fail fast: drop the not-yet-started remainder of the
+                # grid instead of burning CPU after the outcome is known.
+                pool.shutdown(wait=False, cancel_futures=True)
+                label = job.label() or "(base spec)"
+                raise ParallelError(
+                    f"sweep job {job.index} [{label}] failed in a worker: "
+                    f"{error}"
+                ) from error
+    return results  # type: ignore[return-value]

@@ -1,0 +1,157 @@
+"""Parallel sweep executor: serial/parallel byte-identity + failure modes.
+
+The contract under test: ``api.run_sweep(sweep, jobs=N)`` is an
+*executor* choice, never a *semantics* choice — the same jobs run, the
+same scheduler lifecycle applies (one ``reset`` per job), the results
+come back in job-index order, and even the ``--out`` JSON export is byte
+for byte the file the serial path writes. Failures must name the job
+that died, not just propagate a bare worker traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.errors import ConfigError, ParallelError
+from repro.experiments.base import write_results_json
+from repro.fleet.schedulers import FleetIdleScheduler
+from repro.parallel import resolve_jobs
+from repro.spec import SweepSpec
+from repro.spec.compiler import spec_from_fleet_flags
+
+
+def small_sweep(n_jobs: int = 4, *, n_hubs: int = 5, days: int = 2) -> SweepSpec:
+    base = spec_from_fleet_flags(n_hubs=n_hubs, days=days)
+    return SweepSpec(
+        base=base,
+        parameters={"run.seed": tuple(range(n_jobs))},
+        name="parallel-test",
+    )
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(-1)
+
+
+class TestSerialParallelEquivalence:
+    def test_results_byte_identical_and_ordered(self, tmp_path):
+        sweep = small_sweep(4)
+        serial = api.run_sweep(sweep)
+        parallel = api.run_sweep(sweep, jobs=4)
+
+        assert [r.experiment_id for r in parallel] == [
+            f"fleet[{i}]" for i in range(4)
+        ]
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        write_results_json(serial, serial_path)
+        write_results_json(parallel, parallel_path)
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_cli_sweep_jobs_export_matches_serial(self, tmp_path):
+        argv = [
+            "sweep",
+            "--preset",
+            "paper-default",
+            "--set",
+            "run.days=2",
+            "--set",
+            "fleet.n_hubs=4",
+            "--param",
+            "run.seed=0,1",
+        ]
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main([*argv, "--out", str(serial_path)]) == 0
+        assert main([*argv, "--jobs", "2", "--out", str(parallel_path)]) == 0
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_empty_parameter_grid_runs_the_base_once(self):
+        sweep = SweepSpec(base=small_sweep(1).base, parameters={}, name="solo")
+        serial = api.run_sweep(sweep)
+        parallel = api.run_sweep(sweep, jobs=4)
+        assert len(serial) == len(parallel) == 1
+        assert json.dumps(serial[0].to_json_dict(), sort_keys=True) == json.dumps(
+            parallel[0].to_json_dict(), sort_keys=True
+        )
+        assert parallel[0].data["sweep_overrides"] == {}
+
+    def test_fleet_grid_experiment_matches_serial(self):
+        from repro.experiments import run_experiment
+        from repro.experiments.base import jsonable
+
+        serial = run_experiment("fleet-grid", scale=0.25)
+        parallel = run_experiment("fleet-grid", scale=0.25, jobs=2)
+        assert json.dumps(jsonable(serial.data), sort_keys=True) == json.dumps(
+            jsonable(parallel.data), sort_keys=True
+        )
+
+    def test_non_sweep_experiment_rejects_jobs(self):
+        from repro.errors import ExperimentError
+        from repro.experiments import run_experiment
+
+        with pytest.raises(ExperimentError, match="does not support"):
+            run_experiment("fleet", scale=0.25, jobs=2)
+
+
+class TestWorkerFailure:
+    def test_failure_names_the_job_and_its_overrides(self):
+        base = spec_from_fleet_flags(n_hubs=5, days=2)
+        sweep = SweepSpec(
+            base=base,
+            # 3 feeders compiles; 999 feeders for 5 hubs fails in the
+            # worker (SweepSpec's own validation only checks key paths).
+            parameters={"grid.n_feeders": (3, 999)},
+            name="doomed",
+        )
+        with pytest.raises(ParallelError) as excinfo:
+            api.run_sweep(sweep, jobs=2)
+        message = str(excinfo.value)
+        assert "grid.n_feeders=999" in message
+        assert "job 1" in message
+        assert isinstance(excinfo.value.__cause__, ConfigError)
+
+
+class TestSchedulerLifecycle:
+    def test_reset_hook_invoked_exactly_once_per_job(self, monkeypatch):
+        """Each sweep job gets a fresh scheduler, reset exactly once.
+
+        Instrumented on the serial executor (worker processes cannot be
+        monkeypatched from here); the parallel path runs the identical
+        ``api.run`` per job, which the byte-identity tests above pin.
+        """
+        from repro.spec import compiler
+
+        counters: list[list[int]] = []
+
+        class CountingScheduler(FleetIdleScheduler):
+            def __init__(self):
+                self.resets = [0]
+                counters.append(self.resets)
+
+            def reset(self, sim):
+                self.resets[0] += 1
+                super().reset(sim)
+
+        monkeypatch.setattr(
+            compiler, "make_scheduler", lambda *a, **k: CountingScheduler()
+        )
+        api.run_sweep(small_sweep(3))
+        assert len(counters) == 3
+        assert all(resets == [1] for resets in counters)
