@@ -10,6 +10,9 @@ Usage::
     ect-hub fleet --preset congested-city --set run.days=3
     ect-hub fleet --spec scenario.json --out results.json
 
+    ect-hub train-fleet --n-hubs 12 --episodes 100
+    ect-hub train-fleet --preset congested-city --set rl.train_episodes=50
+
     ect-hub presets [--show NAME] [--check]
     ect-hub sweep --preset fleet-default --param run.seed=0,1,2
     ect-hub sweep --spec sweep.json --out sweep.json
@@ -40,6 +43,7 @@ from .spec import (
     parse_assignments,
     parse_override_value,
     spec_from_fleet_flags,
+    spec_from_train_fleet_flags,
     verify_roundtrips,
 )
 
@@ -120,6 +124,46 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--seed", type=int, default=None)
     fleet_p.add_argument("--out", type=str, default=None, help="write data as JSON")
 
+    train_p = sub.add_parser(
+        "train-fleet",
+        help="train PPO on (n_hubs,) action batches over the fleet engine",
+    )
+    train_spec_g = train_p.add_argument_group("declarative scenario")
+    train_spec_g.add_argument(
+        "--spec", type=str, default=None, help="scenario spec JSON file"
+    )
+    train_spec_g.add_argument(
+        "--preset", type=str, default=None, help="named preset (see `presets`)"
+    )
+    train_spec_g.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted override, e.g. --set rl.train_episodes=100",
+    )
+    train_flag_g = train_p.add_argument_group(
+        "schedule flags (shim; not combinable with --spec/--preset)"
+    )
+    train_flag_g.add_argument("--n-hubs", type=int, default=None)
+    train_flag_g.add_argument("--days", type=int, default=None)
+    train_flag_g.add_argument(
+        "--episodes",
+        type=int,
+        default=None,
+        help="PPO training episodes (one update per episode)",
+    )
+    train_flag_g.add_argument(
+        "--eval-episodes",
+        type=int,
+        default=None,
+        help="evaluation episodes before and after training",
+    )
+    train_p.add_argument("--scale", type=float, default=None)
+    train_p.add_argument("--seed", type=int, default=None)
+    train_p.add_argument("--out", type=str, default=None, help="write data as JSON")
+
     presets_p = sub.add_parser("presets", help="list/inspect scenario presets")
     presets_p.add_argument(
         "--show", type=str, default=None, metavar="NAME", help="print a preset as JSON"
@@ -179,25 +223,30 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
 
-def _fleet_spec(args: argparse.Namespace) -> ScenarioSpec:
-    """Resolve the ``fleet`` subcommand's arguments into one spec."""
+def _resolve_spec_args(
+    args: argparse.Namespace,
+    shim_flags: dict[str, object],
+    build_shim,
+    override_hint: str,
+) -> ScenarioSpec:
+    """Shared ``--spec/--preset/--set`` vs engine-flag resolution.
+
+    ``shim_flags`` maps flag spellings to parsed values (``None`` =
+    unset); declarative mode rejects any set flag with ``override_hint``
+    as the suggested ``--set`` replacement, flag mode calls
+    ``build_shim(scale, seed)`` to fold them into a spec.
+    """
     declarative = args.spec is not None or args.preset is not None
     if args.spec is not None and args.preset is not None:
         raise ConfigError("--spec and --preset are mutually exclusive")
     if declarative:
-        flags = {
-            "--n-hubs": args.n_hubs,
-            "--days": args.days,
-            "--scheduler": args.scheduler,
-            "--n-feeders": args.n_feeders,
-            "--feeder-capacity": args.feeder_capacity,
-            "--allocation": args.allocation,
-        }
-        used = sorted(name for name, value in flags.items() if value is not None)
+        used = sorted(
+            name for name, value in shim_flags.items() if value is not None
+        )
         if used:
             raise ConfigError(
                 f"{', '.join(used)} cannot be combined with --spec/--preset; "
-                "use --set overrides instead (e.g. --set fleet.n_hubs=48)"
+                f"use --set overrides instead (e.g. --set {override_hint})"
             )
         spec = (
             ScenarioSpec.load(args.spec)
@@ -212,19 +261,61 @@ def _fleet_spec(args: argparse.Namespace) -> ScenarioSpec:
         if sugar:
             spec = spec.with_overrides(sugar)
     else:
-        spec = spec_from_fleet_flags(
+        spec = build_shim(
             scale=args.scale if args.scale is not None else 1.0,
             seed=args.seed if args.seed is not None else 0,
+        )
+    if args.overrides:
+        spec = spec.with_overrides(parse_assignments(args.overrides))
+    return spec
+
+
+def _fleet_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Resolve the ``fleet`` subcommand's arguments into one spec."""
+    return _resolve_spec_args(
+        args,
+        {
+            "--n-hubs": args.n_hubs,
+            "--days": args.days,
+            "--scheduler": args.scheduler,
+            "--n-feeders": args.n_feeders,
+            "--feeder-capacity": args.feeder_capacity,
+            "--allocation": args.allocation,
+        },
+        lambda *, scale, seed: spec_from_fleet_flags(
+            scale=scale,
+            seed=seed,
             n_hubs=args.n_hubs,
             days=args.days,
             scheduler=args.scheduler if args.scheduler is not None else "rule-based",
             n_feeders=args.n_feeders if args.n_feeders is not None else 1,
             feeder_capacity_kw=args.feeder_capacity,
             allocation=args.allocation if args.allocation is not None else "proportional",
-        )
-    if args.overrides:
-        spec = spec.with_overrides(parse_assignments(args.overrides))
-    return spec
+        ),
+        "fleet.n_hubs=48",
+    )
+
+
+def _train_fleet_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Resolve the ``train-fleet`` subcommand's arguments into one spec."""
+    return _resolve_spec_args(
+        args,
+        {
+            "--n-hubs": args.n_hubs,
+            "--days": args.days,
+            "--episodes": args.episodes,
+            "--eval-episodes": args.eval_episodes,
+        },
+        lambda *, scale, seed: spec_from_train_fleet_flags(
+            scale=scale,
+            seed=seed,
+            n_hubs=args.n_hubs,
+            days=args.days,
+            train_episodes=args.episodes,
+            eval_episodes=args.eval_episodes,
+        ),
+        "rl.train_episodes=20",
+    )
 
 
 def _sweep_spec(args: argparse.Namespace) -> SweepSpec:
@@ -290,6 +381,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "fleet":
         result = api.run(_fleet_spec(args))
+        print(result.rendered())
+        if args.out:
+            print(f"wrote {write_results_json(result, args.out)}")
+        return 0
+    if args.command == "train-fleet":
+        result = api.train_fleet(_train_fleet_spec(args))
         print(result.rendered())
         if args.out:
             print(f"wrote {write_results_json(result, args.out)}")

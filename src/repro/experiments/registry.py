@@ -20,6 +20,7 @@ from . import (
     fleet_sim,
     table2_ect_price,
     table3_hub_daily,
+    train_fleet,
 )
 from .base import ExperimentResult
 
@@ -40,6 +41,7 @@ RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
     "abl-loss": ablations.run_loss_forms,
     "fleet": fleet_sim.run,
     "fleet-grid": fleet_grid.run,
+    "train-fleet": train_fleet.run,
 }
 
 

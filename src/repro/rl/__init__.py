@@ -1,15 +1,18 @@
 """``repro.rl`` — ECT-DRL: PPO battery scheduling plus baselines.
 
 Implements §IV-B of the paper: the Eq. 24 state, the 3-action battery
-environment (:mod:`.env`), the PPO learner with the Eq. 25 clipped
-surrogate (:mod:`.ppo`), rule-based scheduler baselines
+environment (:mod:`.env`) and its batched fleet-scale counterpart
+(:mod:`.fleet_env`, stepping N hubs per action batch over the vectorized
+engine), the PPO learner with the Eq. 25 clipped surrogate (:mod:`.ppo`)
+including hub-axis batch parallelism, rule-based scheduler baselines
 (:mod:`.schedulers`), and a clairvoyant DP oracle used by the ablations
 (:mod:`.dp_oracle`).
 """
 
-from .buffer import RolloutBuffer
+from .buffer import FleetRolloutBuffer, RolloutBuffer
 from .dp_oracle import OracleResult, optimal_schedule
 from .env import ACTION_TO_SBP, N_ACTIONS, EctHubEnv, EnvConfig
+from .fleet_env import FEEDER_OBS_CLIP, FleetEnv
 from .networks import ActorCritic
 from .ppo import PpoAgent, PpoConfig, UpdateStats
 from .schedulers import (
@@ -21,9 +24,12 @@ from .schedulers import (
 )
 from .spaces import Box, Discrete
 from .training import (
+    FleetTrainingHistory,
     TrainingHistory,
     evaluate_agent,
+    evaluate_fleet_agent,
     evaluate_scheduler,
+    train_fleet_ppo,
     train_ppo,
 )
 
@@ -34,6 +40,10 @@ __all__ = [
     "Discrete",
     "EctHubEnv",
     "EnvConfig",
+    "FEEDER_OBS_CLIP",
+    "FleetEnv",
+    "FleetRolloutBuffer",
+    "FleetTrainingHistory",
     "GreedyRenewableScheduler",
     "IdleScheduler",
     "N_ACTIONS",
@@ -47,7 +57,9 @@ __all__ = [
     "TrainingHistory",
     "UpdateStats",
     "evaluate_agent",
+    "evaluate_fleet_agent",
     "evaluate_scheduler",
     "optimal_schedule",
+    "train_fleet_ppo",
     "train_ppo",
 ]

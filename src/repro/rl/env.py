@@ -22,6 +22,7 @@ trained on.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -83,6 +84,7 @@ class EctHubEnv:
         *,
         config: EnvConfig | None = None,
         rng: np.random.Generator | None = None,
+        outage: np.ndarray | None = None,
     ) -> None:
         self.config = config or EnvConfig()
         self.scenario = scenario
@@ -91,6 +93,12 @@ class EctHubEnv:
         if self.discount.shape != (scenario.n_hours,):
             raise EnvError(
                 f"discount schedule length {self.discount.shape} does not match "
+                f"scenario horizon {scenario.n_hours}"
+            )
+        self.outage = None if outage is None else np.asarray(outage, dtype=bool)
+        if self.outage is not None and self.outage.shape != (scenario.n_hours,):
+            raise EnvError(
+                f"outage mask shape {self.outage.shape} does not match "
                 f"scenario horizon {scenario.n_hours}"
             )
         self._episode_h = self.config.episode_days * HOURS_PER_DAY
@@ -118,9 +126,14 @@ class EctHubEnv:
         return 5 * self.config.window_h + 1
 
     def _window(self, trace: np.ndarray, t_abs: int) -> np.ndarray:
-        """Next ``window_h`` values of a trace, edge-padded at the horizon."""
+        """Next ``window_h`` values of a trace, edge-padded at the horizon.
+
+        Clamps against ``len(trace)``, not the scenario horizon: the SRTP
+        window reads the *episode-length* discounted-price trace, which is
+        shorter than the scenario the other features are sliced from.
+        """
         w = self.config.window_h
-        stop = min(t_abs + w, self.scenario.n_hours)
+        stop = min(t_abs + w, len(trace))
         values = trace[t_abs:stop]
         if len(values) < w:
             pad = np.full(w - len(values), values[-1] if len(values) else 0.0)
@@ -167,15 +180,12 @@ class EctHubEnv:
         inputs = self.scenario.inputs_with_occupancy(
             occupied=np.zeros(self.scenario.n_hours, dtype=int),
             discount=np.zeros(self.scenario.n_hours),
+            outage=self.outage,
         ).slice(self._start, self._start + self._episode_h)
-        # Replace occupancy/discount with the episode realisation.
-        inputs = type(inputs)(
-            load_rate=inputs.load_rate,
-            rtp_kwh=inputs.rtp_kwh,
-            pv_power_kw=inputs.pv_power_kw,
-            wt_power_kw=inputs.wt_power_kw,
-            occupied=occupied,
-            discount=episode_discount,
+        # Replace occupancy/discount with the episode realisation; every
+        # other field (including the optional outage mask) must survive.
+        inputs = dataclasses.replace(
+            inputs, occupied=occupied, discount=episode_discount
         )
         self._sim = HubSimulation(
             self.scenario.build_hub(initial_soc_fraction=initial_soc),

@@ -65,6 +65,32 @@ class ActorCritic(nn.Module):
         logits, _ = self.forward(state)
         return int(np.argmax(logits.numpy()[0]))
 
+    def act_batch(
+        self, states: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample one action per row of ``states`` in a single forward pass.
+
+        Returns ``(actions, log_probs, values)``, each shaped ``(n,)``.
+        Sampling is inverse-CDF over the row-wise softmax (one uniform
+        draw per row), so the whole fleet acts on one network evaluation.
+        """
+        logits, values = self.forward(states)
+        log_probs = logits.log_softmax(axis=-1).numpy()
+        probs = np.exp(log_probs)
+        draws = rng.random((probs.shape[0], 1))
+        # Softmax rows sum to 1 up to float error; the clamp covers a
+        # cumsum landing fractionally below a draw at the top edge.
+        actions = np.minimum(
+            (probs.cumsum(axis=1) < draws).sum(axis=1), self.n_actions - 1
+        ).astype(int)
+        taken = log_probs[np.arange(len(actions)), actions]
+        return actions, taken, values.numpy().reshape(-1)
+
+    def greedy_actions(self, states: np.ndarray) -> np.ndarray:
+        """Row-wise argmax actions (batched evaluation mode)."""
+        logits, _ = self.forward(states)
+        return np.argmax(logits.numpy(), axis=1).astype(int)
+
     def evaluate_actions(
         self, states: np.ndarray, actions: np.ndarray
     ) -> tuple[nn.Tensor, nn.Tensor, nn.Tensor]:

@@ -99,6 +99,20 @@ class PpoAgent:
         """Deterministic action for evaluation."""
         return self.network.greedy_action(state)
 
+    def act_batch(
+        self, states: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample ``(actions, log_probs, values)`` for a batch of states.
+
+        One forward pass serves the whole fleet — the hub axis is batch
+        parallelism through the shared policy.
+        """
+        return self.network.act_batch(states, self._rng)
+
+    def greedy_actions(self, states: np.ndarray) -> np.ndarray:
+        """Deterministic actions for a batch of states (evaluation)."""
+        return self.network.greedy_actions(states)
+
     def value(self, state: np.ndarray) -> float:
         """Critic value of a state (for bootstrap at rollout truncation)."""
         _, value = self.network.forward(state)
@@ -108,13 +122,23 @@ class PpoAgent:
     # Learning (Eqs. 25–28)                                                #
     # ------------------------------------------------------------------ #
 
-    def update(self, buffer: RolloutBuffer, *, last_value: float = 0.0) -> UpdateStats:
-        """One PPO update over a filled rollout buffer."""
+    def update(
+        self,
+        buffer: RolloutBuffer,
+        *,
+        last_value: float | np.ndarray = 0.0,
+    ) -> UpdateStats:
+        """One PPO update over a filled rollout buffer.
+
+        ``buffer`` is a :class:`RolloutBuffer` or a
+        :class:`~repro.rl.buffer.FleetRolloutBuffer` — both expose the
+        same advantage/minibatch interface; for the fleet buffer
+        ``last_value`` may be an ``(n_envs,)`` per-hub bootstrap array.
+        """
         cfg = self.config
         buffer.compute_advantages(
             last_value, gamma=cfg.gamma, gae_lambda=cfg.gae_lambda
         )
-        n = len(buffer)
         total_policy, total_value, total_entropy, total_clipped = 0.0, 0.0, 0.0, 0.0
         n_batches = 0
 

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ModelError
-from .buffer import RolloutBuffer
+from .buffer import FleetRolloutBuffer, RolloutBuffer
 from .env import EctHubEnv
+from .fleet_env import FleetEnv
 from .ppo import PpoAgent, PpoConfig, UpdateStats
 from .schedulers import Scheduler
 
@@ -95,6 +96,88 @@ def evaluate_agent(
         daily = env.simulation.book.daily_rewards()
         rewards[e, : len(daily)] = daily
     return rewards
+
+
+@dataclass
+class FleetTrainingHistory:
+    """Per-episode fleet returns and update diagnostics."""
+
+    episode_returns: list[np.ndarray] = field(default_factory=list)
+    update_stats: list[UpdateStats] = field(default_factory=list)
+
+    @property
+    def mean_episode_returns(self) -> list[float]:
+        """Hub-averaged raw Eq. 12 return per training episode."""
+        if not self.episode_returns:
+            raise ModelError("no episodes recorded")
+        return [float(returns.mean()) for returns in self.episode_returns]
+
+    @property
+    def best_mean_return(self) -> float:
+        """Highest hub-averaged episode return seen during training."""
+        return max(self.mean_episode_returns)
+
+
+def train_fleet_ppo(
+    env: FleetEnv,
+    *,
+    episodes: int,
+    config: PpoConfig | None = None,
+    rng: np.random.Generator | None = None,
+    agent: PpoAgent | None = None,
+) -> tuple[PpoAgent, FleetTrainingHistory]:
+    """Train one parameter-shared PPO agent over a batched fleet env.
+
+    Every slot contributes ``n_hubs`` transitions through a single
+    forward pass; one PPO update runs per episode over the whole
+    ``episode_length x n_hubs`` rollout, with GAE computed per hub.
+    Returns the agent and the history of per-hub raw episode returns.
+    """
+    if episodes <= 0:
+        raise ModelError(f"episodes must be positive, got {episodes}")
+    agent = agent or PpoAgent(env.state_dim(), env.action_space.n, config, rng)
+    buffer = FleetRolloutBuffer(env.episode_length, env.n_hubs, env.state_dim())
+    history = FleetTrainingHistory()
+
+    for _ in range(episodes):
+        states = env.reset()
+        episode_returns = np.zeros(env.n_hubs)
+        done = False
+        while not done:
+            actions, log_probs, values = agent.act_batch(states)
+            next_states, rewards, done, info = env.step(actions)
+            buffer.add(states, actions, log_probs, values, rewards, done)
+            episode_returns += info["reward_raw"]
+            states = next_states
+        stats = agent.update(buffer, last_value=0.0)
+        history.episode_returns.append(episode_returns)
+        history.update_stats.append(stats)
+    return agent, history
+
+
+def evaluate_fleet_agent(
+    env: FleetEnv,
+    agent: PpoAgent,
+    *,
+    episodes: int,
+    greedy: bool = True,
+) -> np.ndarray:
+    """Raw Eq. 12 episode returns per hub, shape ``(episodes, n_hubs)``."""
+    if episodes <= 0:
+        raise ModelError(f"episodes must be positive, got {episodes}")
+    returns = np.zeros((episodes, env.n_hubs))
+    for e in range(episodes):
+        states = env.reset()
+        done = False
+        while not done:
+            actions = (
+                agent.greedy_actions(states)
+                if greedy
+                else agent.act_batch(states)[0]
+            )
+            states, _, done, info = env.step(actions)
+            returns[e] += info["reward_raw"]
+    return returns
 
 
 def evaluate_scheduler(

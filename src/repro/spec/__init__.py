@@ -21,13 +21,23 @@ Layout
 The user-facing facade lives in :mod:`repro.api`.
 """
 
-from .compiler import CompiledScenario, build, make_scheduler, spec_from_fleet_flags
+from .compiler import (
+    CompiledScenario,
+    FleetAssembly,
+    build,
+    build_fleet_env,
+    make_scheduler,
+    ppo_config_from_spec,
+    spec_from_fleet_flags,
+    spec_from_train_fleet_flags,
+)
 from .presets import PRESETS, available_presets, get_preset, verify_roundtrips
 from .scenario import (
     BlackoutSpec,
     FleetSpec,
     GridSpec,
     HubGroupSpec,
+    RlSpec,
     RunSpec,
     ScenarioSpec,
     SchedulerSpec,
@@ -41,9 +51,11 @@ __all__ = [
     "PRESETS",
     "BlackoutSpec",
     "CompiledScenario",
+    "FleetAssembly",
     "FleetSpec",
     "GridSpec",
     "HubGroupSpec",
+    "RlSpec",
     "RunSpec",
     "ScenarioSpec",
     "SchedulerSpec",
@@ -52,10 +64,13 @@ __all__ = [
     "apply_overrides",
     "available_presets",
     "build",
+    "build_fleet_env",
     "get_preset",
     "make_scheduler",
     "parse_assignments",
     "parse_override_value",
+    "ppo_config_from_spec",
     "spec_from_fleet_flags",
+    "spec_from_train_fleet_flags",
     "verify_roundtrips",
 ]

@@ -41,6 +41,7 @@ from .scenario import (
     FleetSpec,
     GridSpec,
     HubGroupSpec,
+    RlSpec,
     RunSpec,
     ScenarioSpec,
     SchedulerSpec,
@@ -48,6 +49,10 @@ from .scenario import (
 
 #: Blackout intensity of the ``ect-hub fleet`` flag defaults.
 DEFAULT_OUTAGE_PROBABILITY = 0.001
+
+#: ``ect-hub train-fleet`` flag defaults (scale-1 values).
+DEFAULT_TRAIN_FLEET_HUBS = 6
+DEFAULT_TRAIN_FLEET_DAYS = 10
 
 
 def _scaled(value: int, scale: float, *, minimum: int = 1) -> int:
@@ -176,8 +181,30 @@ def make_scheduler(
     )
 
 
-def build(spec: ScenarioSpec) -> CompiledScenario:
-    """Compile a spec into scenarios + batched engine + scheduler."""
+@dataclass
+class FleetAssembly:
+    """The spec-derived fleet pieces every compilation target shares.
+
+    :func:`build` layers the occupancy realisation, batched engine, and
+    scheduler on top; :func:`build_fleet_env` consumes the assembly
+    directly (the RL environment re-realises occupancy per episode, so
+    the full-horizon realisation and engine would be dead work there).
+    All randomness is drawn from name-keyed :class:`RngFactory` streams,
+    so both targets see identical scenarios/outages for one spec.
+    """
+
+    spec: ScenarioSpec
+    scenarios: list[HubScenario]
+    behavior: ChargingBehaviorModel
+    outage: np.ndarray | None
+    feeders: "FeederGroup"
+    n_hubs: int
+    days: int
+    horizon: int
+
+
+def _assemble_fleet(spec: ScenarioSpec) -> FleetAssembly:
+    """Resolve a spec into sites, traces, blackout masks, and feeders."""
     if not isinstance(spec, ScenarioSpec):
         raise ConfigError(
             f"expected a ScenarioSpec, got {type(spec).__name__}"
@@ -218,23 +245,6 @@ def build(spec: ScenarioSpec) -> CompiledScenario:
         for site, group in zip(sites, per_hub)
     ]
 
-    behavior = ChargingBehaviorModel(base_config.charging, factory)
-    slots = np.arange(horizon)
-    no_discount = np.zeros(horizon, dtype=int)
-    occupied = np.stack(
-        [
-            resolve_occupancy(
-                behavior.sample_strata(
-                    scenario.site.hub_id,
-                    slots,
-                    factory.stream(f"fleet/occupancy/{scenario.site.hub_id}"),
-                ),
-                no_discount,
-            )
-            for scenario in scenarios
-        ]
-    )
-
     outage: np.ndarray | None = None
     if spec.blackout.outage_probability_per_hour > 0.0:
         model = BlackoutModel(
@@ -252,7 +262,40 @@ def build(spec: ScenarioSpec) -> CompiledScenario:
             ]
         )
 
-    feeders = _build_feeders(spec.grid, per_hub, n_hubs, horizon)
+    return FleetAssembly(
+        spec=spec,
+        scenarios=scenarios,
+        behavior=ChargingBehaviorModel(base_config.charging, factory),
+        outage=outage,
+        feeders=_build_feeders(spec.grid, per_hub, n_hubs, horizon),
+        n_hubs=n_hubs,
+        days=days,
+        horizon=horizon,
+    )
+
+
+def build(spec: ScenarioSpec) -> CompiledScenario:
+    """Compile a spec into scenarios + batched engine + scheduler."""
+    assembly = _assemble_fleet(spec)
+    run = spec.run
+    scenarios, horizon = assembly.scenarios, assembly.horizon
+
+    factory = RngFactory(seed=run.seed)
+    slots = np.arange(horizon)
+    no_discount = np.zeros(horizon, dtype=int)
+    occupied = np.stack(
+        [
+            resolve_occupancy(
+                assembly.behavior.sample_strata(
+                    scenario.site.hub_id,
+                    slots,
+                    factory.stream(f"fleet/occupancy/{scenario.site.hub_id}"),
+                ),
+                no_discount,
+            )
+            for scenario in scenarios
+        ]
+    )
 
     from ..fleet.builder import fleet_simulation_from_scenarios
 
@@ -260,21 +303,142 @@ def build(spec: ScenarioSpec) -> CompiledScenario:
         scenarios,
         occupied,
         np.zeros(horizon),
-        outage=outage,
+        outage=assembly.outage,
         initial_soc_fraction=run.initial_soc_fraction,
-        feeders=feeders,
+        feeders=assembly.feeders,
         voll_per_kwh=run.voll_per_kwh,
     )
     scheduler = make_scheduler(
-        spec.scheduler, n_hubs=n_hubs, rng_factory=RngFactory(seed=run.seed)
+        spec.scheduler, n_hubs=assembly.n_hubs, rng_factory=RngFactory(seed=run.seed)
     )
     return CompiledScenario(
         spec=spec,
         scenarios=scenarios,
         simulation=simulation,
         scheduler=scheduler,
-        n_hubs=n_hubs,
-        days=days,
+        n_hubs=assembly.n_hubs,
+        days=assembly.days,
+    )
+
+
+def build_fleet_env(spec: ScenarioSpec, *, rng=None):
+    """Compile a spec's ``rl`` section into a batched fleet environment.
+
+    Returns ``(assembly, env)``: the :class:`FleetAssembly` (scenarios,
+    blackout masks, feeders — the same pieces :func:`build` compiles,
+    minus the engine the RL path never uses) plus a
+    :class:`~repro.rl.fleet_env.FleetEnv` over its scenarios. Episode
+    length is clamped to the compiled horizon so run-scaled scenarios
+    still train; discounts are zero (the fleet baseline — pricing-loop
+    discounts are a spec follow-on). ``rng`` overrides the episode
+    stream (default: the run seed's ``"rl/env"`` stream).
+    """
+    # Local import: repro.rl pulls the nn stack, which the spec layer
+    # must not load for plain (non-RL) builds.
+    from ..rl.env import EnvConfig
+    from ..rl.fleet_env import FleetEnv
+
+    assembly = _assemble_fleet(spec)
+    rl = spec.rl
+    config = EnvConfig(
+        episode_days=min(rl.episode_days, assembly.days),
+        window_h=rl.window_h,
+        reward_scale=rl.reward_scale,
+        random_initial_soc=rl.random_initial_soc,
+    )
+    feeders = assembly.feeders
+    env = FleetEnv(
+        assembly.scenarios,
+        assembly.behavior,
+        np.zeros(assembly.horizon),
+        config=config,
+        rng=rng if rng is not None else RngFactory(seed=spec.run.seed).stream("rl/env"),
+        outage=assembly.outage,
+        feeders=feeders,
+        voll_per_kwh=spec.run.voll_per_kwh,
+        feeder_aware=rl.feeder_aware and not feeders.is_unlimited,
+    )
+    return assembly, env
+
+
+def ppo_config_from_spec(spec: ScenarioSpec):
+    """The :class:`~repro.rl.ppo.PpoConfig` a spec's ``rl`` section means."""
+    from ..rl.ppo import PpoConfig
+
+    rl = spec.rl
+    return PpoConfig(
+        learning_rate=rl.learning_rate,
+        weight_decay=rl.weight_decay,
+        gamma=rl.gamma,
+        gae_lambda=rl.gae_lambda,
+        clip_epsilon=rl.clip_epsilon,
+        value_coef=rl.value_coef,
+        entropy_coef=rl.entropy_coef,
+        update_epochs=rl.update_epochs,
+        batch_size=rl.batch_size,
+        max_grad_norm=rl.max_grad_norm,
+        hidden_sizes=rl.hidden_sizes,
+    )
+
+
+def spec_from_train_fleet_flags(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    n_hubs: int | None = None,
+    days: int | None = None,
+    train_episodes: int | None = None,
+    eval_episodes: int | None = None,
+) -> ScenarioSpec:
+    """One spec per ``ect-hub train-fleet`` invocation.
+
+    Resolves the scale-dependent defaults (6 hubs x 10 days, 40 training
+    / 5 evaluation episodes at scale 1) into explicit spec values — the
+    same shim pattern as :func:`spec_from_fleet_flags`, so a serialized
+    train-fleet spec replays the exact run the flags meant. The PPO
+    defaults lean myopic (``gamma=0.95``, light entropy) — battery
+    arbitrage credit spans hours, not the 30-day episode, and the short
+    smoke schedule learns measurably faster that way.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    return ScenarioSpec(
+        name="train-fleet",
+        description="flag-built fleet PPO training scenario",
+        fleet=FleetSpec(
+            n_hubs=(
+                n_hubs
+                if n_hubs is not None
+                else _scaled(DEFAULT_TRAIN_FLEET_HUBS, scale, minimum=2)
+            )
+        ),
+        blackout=BlackoutSpec(
+            outage_probability_per_hour=DEFAULT_OUTAGE_PROBABILITY,
+            recovery_time_h=4,
+        ),
+        run=RunSpec(
+            days=(
+                days
+                if days is not None
+                else _scaled(DEFAULT_TRAIN_FLEET_DAYS, scale, minimum=3)
+            ),
+            seed=seed,
+        ),
+        rl=RlSpec(
+            episode_days=5,
+            gamma=0.95,
+            entropy_coef=0.005,
+            train_episodes=(
+                train_episodes
+                if train_episodes is not None
+                else _scaled(40, scale, minimum=2)
+            ),
+            eval_episodes=(
+                eval_episodes
+                if eval_episodes is not None
+                else _scaled(5, scale, minimum=1)
+            ),
+        ),
     )
 
 

@@ -289,6 +289,79 @@ class BlackoutSpec:
 
 
 @dataclass(frozen=True)
+class RlSpec:
+    """The ECT-DRL training section: environment shape + PPO knobs.
+
+    Compiled by :func:`~repro.spec.compiler.build_fleet_env` into a
+    batched :class:`~repro.rl.fleet_env.FleetEnv` (episode/window shape,
+    reward scaling, feeder-aware observations) plus a
+    :class:`~repro.rl.ppo.PpoConfig`; ``train_episodes`` /
+    ``eval_episodes`` size the ``train-fleet`` schedule before run-scale.
+    ``episode_days`` is clamped to the compiled horizon, so a
+    run-scaled-down scenario still trains (on shorter episodes).
+    ``feeder_aware`` appends the normalised ``available_import_kw``
+    observation feature whenever the grid section is capacity-limited.
+    """
+
+    episode_days: int = 7
+    window_h: int = 24
+    reward_scale: float = 10.0
+    random_initial_soc: bool = True
+    feeder_aware: bool = True
+    train_episodes: int = 40
+    eval_episodes: int = 5
+    learning_rate: float = 1e-3
+    weight_decay: float = 1e-4
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_epsilon: float = 0.2
+    value_coef: float = 0.5
+    entropy_coef: float = 0.01
+    update_epochs: int = 4
+    batch_size: int = 64
+    max_grad_norm: float = 0.5
+    hidden_sizes: tuple[int, ...] = (64, 64)
+
+    def __post_init__(self) -> None:
+        # The PPO bounds here deliberately mirror PpoConfig's __post_init__
+        # (keep them in sync): the spec layer must reject bad values with
+        # ConfigError at construction, and cannot import repro.rl (the nn
+        # stack) just to validate — plain spec builds stay lightweight.
+        for name in ("episode_days", "window_h", "train_episodes",
+                     "eval_episodes", "update_epochs", "batch_size"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(
+                    f"rl {name} must be positive, got {getattr(self, name)}"
+                )
+        for name in ("reward_scale", "learning_rate", "max_grad_norm"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(
+                    f"rl {name} must be positive, got {getattr(self, name)}"
+                )
+        if self.weight_decay < 0 or self.value_coef < 0 or self.entropy_coef < 0:
+            raise ConfigError("rl coefficients must be non-negative")
+        if not 0.0 < self.gamma <= 1.0 or not 0.0 <= self.gae_lambda <= 1.0:
+            raise ConfigError(
+                f"rl gamma/gae_lambda invalid: ({self.gamma}, {self.gae_lambda})"
+            )
+        if not 0.0 < self.clip_epsilon < 1.0:
+            raise ConfigError(
+                f"rl clip_epsilon must be in (0, 1), got {self.clip_epsilon}"
+            )
+        sizes = self.hidden_sizes
+        if not isinstance(sizes, tuple):
+            object.__setattr__(self, "hidden_sizes", tuple(sizes))
+            sizes = self.hidden_sizes
+        if not sizes or any(
+            not isinstance(s, int) or isinstance(s, bool) or s <= 0
+            for s in sizes
+        ):
+            raise ConfigError(
+                f"rl hidden_sizes must be positive integers, got {sizes!r}"
+            )
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """Horizon, seed, scale, and run-level economics.
 
@@ -337,6 +410,7 @@ class ScenarioSpec:
     scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
     blackout: BlackoutSpec = field(default_factory=BlackoutSpec)
     run: RunSpec = field(default_factory=RunSpec)
+    rl: RlSpec = field(default_factory=RlSpec)
 
     def __post_init__(self) -> None:
         if not self.name:

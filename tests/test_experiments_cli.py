@@ -25,6 +25,7 @@ ALL_IDS = {
     "abl-loss",
     "fleet",
     "fleet-grid",
+    "train-fleet",
 }
 
 

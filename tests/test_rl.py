@@ -112,6 +112,87 @@ class TestEnv:
         with pytest.raises(EnvError):
             EctHubEnv(scenario, behavior, np.zeros(10))
 
+    def test_outage_mask_reaches_simulation(self, env_setup):
+        """Regression: reset() must not silently drop the blackout mask.
+
+        The episode inputs are rebuilt after slicing; the old field-by-field
+        reconstruction discarded ``outage``, so the RL env never trained on
+        blackouts even when given a mask.
+        """
+        factory, scenario, behavior = env_setup
+        outage = np.ones(scenario.n_hours, dtype=bool)
+        env = EctHubEnv(
+            scenario,
+            behavior,
+            np.zeros(scenario.n_hours),
+            config=EnvConfig(episode_days=2),
+            rng=factory.stream("outage-test"),
+            outage=outage,
+        )
+        env.reset()
+        sim_outage = env.simulation.inputs.outage
+        assert sim_outage is not None
+        assert sim_outage.shape == (env.episode_length,)
+        assert sim_outage.all()
+        _, _, _, info = env.step(1)
+        ledger = info["ledger"]
+        assert ledger.blackout
+        assert ledger.p_grid_kw == 0.0 and ledger.revenue == 0.0
+
+    def test_outage_mask_length_validated(self, env_setup):
+        factory, scenario, behavior = env_setup
+        with pytest.raises(EnvError):
+            EctHubEnv(
+                scenario,
+                behavior,
+                np.zeros(scenario.n_hours),
+                outage=np.ones(10, dtype=bool),
+            )
+
+    def test_windows_edge_padded_for_both_trace_lengths(self, env):
+        """Regression: _window must clamp against the trace it is given.
+
+        The SRTP window reads the episode-length trace; clamping against
+        the scenario horizon only worked through numpy slice truncation.
+        Both trace lengths must yield exactly ``window_h`` values with
+        edge padding past the end.
+        """
+        env.reset()
+        w = env.config.window_h
+        episode_trace = env._episode_srtp
+        assert len(episode_trace) == env.episode_length
+        near_end = env._window(episode_trace, env.episode_length - 1)
+        assert near_end.shape == (w,)
+        assert np.all(near_end == episode_trace[-1])
+
+        scenario_trace = env.scenario.rtp_kwh
+        at_horizon = env._window(scenario_trace, env.scenario.n_hours - 1)
+        assert at_horizon.shape == (w,)
+        assert np.all(at_horizon == scenario_trace[-1])
+        # Interior windows are untouched slices of the trace.
+        interior = env._window(episode_trace, 0)
+        assert np.array_equal(interior, episode_trace[:w])
+
+    def test_reset_at_max_start_flushes_against_horizon(self, env_setup):
+        """An episode as long as the scenario forces start == max_start == 0."""
+        factory, scenario, behavior = env_setup
+        env = EctHubEnv(
+            scenario,
+            behavior,
+            np.zeros(scenario.n_hours),
+            config=EnvConfig(episode_days=scenario.n_hours // 24),
+            rng=factory.stream("flush-test"),
+        )
+        state = env.reset()
+        assert env._start == 0
+        assert state.shape == (env.state_dim(),)
+        steps = 0
+        done = False
+        while not done:
+            state, _, done, _ = env.step(0)
+            steps += 1
+        assert steps == env.episode_length == scenario.n_hours
+
     def test_discounts_increase_occupancy(self, env_setup):
         """Evening discounts attract Incentive cells => more occupied slots."""
         factory, scenario, behavior = env_setup
