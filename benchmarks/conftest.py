@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import run_experiment
+from repro.telemetry import run_metadata
 
 #: Rendered artifact reports are also persisted here.
 REPORT_DIR = Path(__file__).parent / "reports"
@@ -56,10 +57,14 @@ def write_perf_report(name: str, text: str, payload: dict) -> None:
     The txt file is the human-readable trend the repo has always kept;
     the JSON carries the same numbers machine-readably (workload,
     hub-slots/sec, speedups) so the perf trajectory is diffable across
-    PRs without parsing prose.
+    PRs without parsing prose. Every JSON report is stamped with the
+    environment fingerprint (host, python/numpy versions, git commit,
+    ECT_PERF_RELAXED) so numbers from different machines never get
+    compared as like-for-like.
     """
     REPORT_DIR.mkdir(exist_ok=True)
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = dict(payload, meta=run_metadata())
     (REPORT_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

@@ -15,6 +15,15 @@ self-describing and replayable. ``run_sweep`` expands a
 ``build_fleet_env`` / ``train_fleet`` compile the spec's ``rl`` section
 into the batched :class:`~repro.rl.fleet_env.FleetEnv` and run the PPO
 training schedule over it.
+
+Every entry point accepts ``telemetry=`` — a :class:`~repro.telemetry.
+session.Telemetry` session. When one is passed, the run is phase-traced
+(``compile`` / ``reset`` / ``step``, plus ``sweep-job`` and
+``ppo-update`` where applicable), engine counters and throughput gauges
+are booked, and the completed RunTelemetry record is attached to the
+returned result as ``result.telemetry``. The simulated numbers are
+bit-identical with or without a session; telemetry never reaches the
+deterministic ``data`` payload.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from .spec.compiler import (
 from .spec.presets import get_preset
 from .spec.scenario import ScenarioSpec
 from .spec.sweep import SweepSpec
+from .telemetry import Telemetry, log
 
 
 def load_spec(path: str | Path) -> ScenarioSpec:
@@ -59,15 +69,42 @@ def build(spec: ScenarioSpec | str) -> CompiledScenario:
     return _compile(resolve_spec(spec))
 
 
-def run(spec: ScenarioSpec | str) -> ExperimentResult:
-    """Compile and run a scenario, reporting per-hub + network economics."""
+def run(
+    spec: ScenarioSpec | str, *, telemetry: Telemetry | None = None
+) -> ExperimentResult:
+    """Compile and run a scenario, reporting per-hub + network economics.
+
+    With a ``telemetry`` session the compile/reset/step phases are
+    traced, the engine books live counters, and the RunTelemetry record
+    lands on ``result.telemetry`` — the booked economics are identical
+    either way (the reset the traced path adds is idempotent).
+    """
     resolved = resolve_spec(spec)
-    compiled = _compile(resolved)
-    simulation = compiled.simulation
+    if telemetry is None:
+        compiled = _compile(resolved)
+        simulation = compiled.simulation
+    else:
+        with telemetry.span("compile", scenario=resolved.name):
+            compiled = _compile(resolved)
+        simulation = compiled.simulation
+        simulation.attach_telemetry(telemetry)
+        with telemetry.span("reset"):
+            simulation.reset()
     n_hubs, days = compiled.n_hubs, compiled.days
+    log.debug(
+        "compiled scenario",
+        scenario=resolved.name,
+        n_hubs=n_hubs,
+        days=days,
+        scheduler=compiled.scheduler.name,
+    )
 
     start = time.perf_counter()
-    book = compiled.execute()
+    if telemetry is None:
+        book = compiled.execute()
+    else:
+        with telemetry.span("step", slots=simulation.horizon):
+            book = compiled.execute()
     elapsed = time.perf_counter() - start
     hub_slots = n_hubs * simulation.horizon
     throughput = hub_slots / elapsed if elapsed > 0 else float("inf")
@@ -141,12 +178,24 @@ def run(spec: ScenarioSpec | str) -> ExperimentResult:
     if n_hubs > show:
         lines.append(f"  ... ({n_hubs - show} more hubs)")
 
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id="fleet",
         title="Batched fleet simulation (network-scale scheduling)",
         data=data,
         lines=lines,
     )
+    if telemetry is not None:
+        # Book the end-of-run aggregates the live engine hooks cannot see
+        # (feeder-slot congestion rolls hub columns up per feeder), then
+        # snapshot the session onto the result. Counters are
+        # deterministic; only the timings/gauges vary run to run.
+        metrics = telemetry.metrics
+        metrics.set_gauge("engine.hub_slots_per_sec", throughput)
+        metrics.inc("engine.congested_feeder_slots", book.congested_feeder_slots)
+        metrics.inc("engine.unserved_kwh", book.total_unserved_kwh)
+        metrics.inc("runs")
+        result.telemetry = telemetry.to_dict()
+    return result
 
 
 def build_fleet_env(spec: ScenarioSpec | str, *, rng=None):
@@ -162,7 +211,9 @@ def build_fleet_env(spec: ScenarioSpec | str, *, rng=None):
     return _compile_fleet_env(resolve_spec(spec), rng=rng)
 
 
-def train_fleet(spec: ScenarioSpec | str) -> ExperimentResult:
+def train_fleet(
+    spec: ScenarioSpec | str, *, telemetry: Telemetry | None = None
+) -> ExperimentResult:
     """Train a parameter-shared PPO agent over a spec's batched fleet env.
 
     The schedule comes from the spec's ``rl`` section, run-scaled like
@@ -182,7 +233,11 @@ def train_fleet(spec: ScenarioSpec | str) -> ExperimentResult:
     from .rl.training import evaluate_fleet_agent, train_fleet_ppo
 
     resolved = resolve_spec(spec)
-    assembly, env = _compile_fleet_env(resolved)
+    if telemetry is None:
+        assembly, env = _compile_fleet_env(resolved)
+    else:
+        with telemetry.span("compile", scenario=resolved.name):
+            assembly, env = _compile_fleet_env(resolved)
     rl = resolved.rl
     # run.scale shrinks the episode schedule along with the fleet and
     # horizon, so a --scale'd preset run is cheap end to end (the flag
@@ -202,18 +257,29 @@ def train_fleet(spec: ScenarioSpec | str) -> ExperimentResult:
         # A fresh, identically-seeded episode stream per evaluation pass
         # keeps the before/after comparison on identical traces.
         env.reseed(RngFactory(seed=seed).stream("rl/eval"))
-        return evaluate_fleet_agent(
-            env, agent, episodes=eval_episodes, greedy=greedy
-        )
+        if telemetry is None:
+            return evaluate_fleet_agent(
+                env, agent, episodes=eval_episodes, greedy=greedy
+            )
+        with telemetry.span("eval", greedy=greedy):
+            return evaluate_fleet_agent(
+                env, agent, episodes=eval_episodes, greedy=greedy
+            )
 
     untrained = paired_eval(greedy=False)
     untrained_greedy = paired_eval(greedy=True)
 
     env.reseed(factory.stream("rl/train"))
     start = time.perf_counter()
-    agent, history = train_fleet_ppo(
-        env, episodes=train_episodes, agent=agent
-    )
+    if telemetry is None:
+        agent, history = train_fleet_ppo(
+            env, episodes=train_episodes, agent=agent
+        )
+    else:
+        with telemetry.span("train", episodes=train_episodes):
+            agent, history = train_fleet_ppo(
+                env, episodes=train_episodes, agent=agent, telemetry=telemetry
+            )
     elapsed = time.perf_counter() - start
     hub_slots = train_episodes * env.episode_length * env.n_hubs
     throughput = hub_slots / elapsed if elapsed > 0 else float("inf")
@@ -266,16 +332,27 @@ def train_fleet(spec: ScenarioSpec | str) -> ExperimentResult:
         f"final update: entropy {history.update_stats[-1].entropy:.3f}, "
         f"clip fraction {history.update_stats[-1].clip_fraction:.3f}",
     ]
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id="train-fleet",
         title="Fleet PPO training (batched ECT-DRL over the vectorized engine)",
         data=data,
         lines=lines,
     )
+    if telemetry is not None:
+        metrics = telemetry.metrics
+        metrics.set_gauge("rl.train_hub_slots_per_sec", throughput)
+        metrics.inc("rl.train_episodes", train_episodes)
+        metrics.inc("rl.train_transitions", hub_slots)
+        metrics.inc("runs")
+        result.telemetry = telemetry.to_dict()
+    return result
 
 
 def run_sweep(
-    sweep: SweepSpec, *, jobs: int | None = None
+    sweep: SweepSpec,
+    *,
+    jobs: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> list[ExperimentResult]:
     """Run every job of a sweep grid; each result carries its overrides.
 
@@ -290,17 +367,42 @@ def run_sweep(
     (:mod:`repro.parallel`), and ``0`` means one worker per CPU core.
     Parallel results are re-ordered by job index and tagged identically,
     so serial and parallel sweeps produce byte-identical exports.
+
+    With a ``telemetry`` session, each job runs under its own
+    job-local session (in-process for serial, in-worker for parallel —
+    per-worker records flow back through the result payloads) and is
+    folded into the passed session in job-index order: counters add,
+    traces nest under ``sweep-job`` spans. The aggregated counters are
+    byte-identical between executors; per-job records additionally stay
+    on each ``result.telemetry``.
     """
     from .parallel import resolve_jobs, run_jobs_parallel
 
     expanded = sweep.jobs()
     n_workers = resolve_jobs(jobs)
+    log.debug(
+        "expanding sweep", sweep=sweep.name, jobs=len(expanded), workers=n_workers
+    )
     if n_workers > 1 and len(expanded) > 1:
-        results = run_jobs_parallel(expanded, n_workers)
+        results = run_jobs_parallel(
+            expanded, n_workers, with_telemetry=telemetry is not None
+        )
+        if telemetry is not None:
+            telemetry.set_workers(n_workers)
     else:
-        results = [run(job.spec) for job in expanded]
+        results = [
+            run(
+                job.spec,
+                telemetry=(
+                    Telemetry(include_meta=False) if telemetry is not None else None
+                ),
+            )
+            for job in expanded
+        ]
     for job, result in zip(expanded, results):
         result.experiment_id = f"fleet[{job.index}]"
         result.data["sweep"] = sweep.name
         result.data["sweep_overrides"] = dict(job.overrides)
+        if telemetry is not None:
+            telemetry.absorb(result.telemetry, label="sweep-job", index=job.index)
     return results

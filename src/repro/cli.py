@@ -23,6 +23,13 @@ scenario via ``--spec FILE`` / ``--preset NAME`` plus dotted ``--set
 key=value`` overrides. ``sweep`` expands a base spec × parameter grid and
 runs every job. ``--out PATH`` persists experiment ``data`` dicts as JSON
 so results can be diffed across runs and PRs.
+
+Observability: every subcommand takes ``-v/--verbose`` and ``-q/--quiet``
+(the :mod:`repro.telemetry.log` threshold); the run-shaped subcommands
+additionally take ``--telemetry`` (collect + print a RunTelemetry
+summary; with ``--out`` the record also lands in a ``*.telemetry.json``
+sidecar) and ``--trace-out PATH`` (export the nested phase trace and
+full record as JSON).
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .errors import ConfigError, ReproError
+from .errors import ConfigError, ParallelError, ReproError
 from .experiments import available_experiments, run_experiment
 from .experiments.base import write_results_json
 from .fleet.grid import ALLOCATION_POLICIES
@@ -46,6 +53,12 @@ from .spec import (
     spec_from_train_fleet_flags,
     verify_roundtrips,
 )
+from .telemetry import (
+    Telemetry,
+    log,
+    telemetry_sidecar_path,
+    write_telemetry_json,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,11 +67,49 @@ def build_parser() -> argparse.ArgumentParser:
         prog="ect-hub",
         description="ECT-Hub reproduction: regenerate paper tables/figures.",
     )
+    # Shared per-subcommand flags: verbosity on everything, telemetry on
+    # the run-shaped subcommands (parents= so they sit after the
+    # subcommand where users type them).
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity_g = verbosity.add_mutually_exclusive_group()
+    verbosity_g.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="show debug-level log lines",
+    )
+    verbosity_g.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress info-level log lines (warnings/errors only)",
+    )
+    telemetry_args = argparse.ArgumentParser(add_help=False)
+    telemetry_args.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect run telemetry (phase timings, engine counters) and "
+        "print a summary; with --out, also write a *.telemetry.json sidecar",
+    )
+    telemetry_args.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the nested phase trace + RunTelemetry record as JSON "
+        "(implies --telemetry)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiment ids")
+    sub.add_parser(
+        "list", help="list available experiment ids", parents=[verbosity]
+    )
 
-    run_p = sub.add_parser("run", help="run one experiment")
+    run_p = sub.add_parser(
+        "run",
+        help="run one experiment",
+        parents=[verbosity, telemetry_args],
+    )
     run_p.add_argument("experiment", choices=available_experiments())
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--seed", type=int, default=0)
@@ -71,13 +122,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--out", type=str, default=None, help="write data as JSON")
 
-    all_p = sub.add_parser("run-all", help="run every experiment")
+    all_p = sub.add_parser(
+        "run-all", help="run every experiment", parents=[verbosity]
+    )
     all_p.add_argument("--scale", type=float, default=1.0)
     all_p.add_argument("--seed", type=int, default=0)
     all_p.add_argument("--out", type=str, default=None, help="write data as JSON")
 
     fleet_p = sub.add_parser(
-        "fleet", help="batch-simulate an N-hub fleet (vectorized engine)"
+        "fleet",
+        help="batch-simulate an N-hub fleet (vectorized engine)",
+        parents=[verbosity, telemetry_args],
     )
     spec_g = fleet_p.add_argument_group("declarative scenario")
     spec_g.add_argument(
@@ -127,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     train_p = sub.add_parser(
         "train-fleet",
         help="train PPO on (n_hubs,) action batches over the fleet engine",
+        parents=[verbosity, telemetry_args],
     )
     train_spec_g = train_p.add_argument_group("declarative scenario")
     train_spec_g.add_argument(
@@ -164,7 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
     train_p.add_argument("--seed", type=int, default=None)
     train_p.add_argument("--out", type=str, default=None, help="write data as JSON")
 
-    presets_p = sub.add_parser("presets", help="list/inspect scenario presets")
+    presets_p = sub.add_parser(
+        "presets", help="list/inspect scenario presets", parents=[verbosity]
+    )
     presets_p.add_argument(
         "--show", type=str, default=None, metavar="NAME", help="print a preset as JSON"
     )
@@ -175,7 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sweep_p = sub.add_parser(
-        "sweep", help="expand a base spec x parameter grid and run every job"
+        "sweep",
+        help="expand a base spec x parameter grid and run every job",
+        parents=[verbosity, telemetry_args],
     )
     sweep_p.add_argument(
         "--spec", type=str, default=None, help="SweepSpec JSON file"
@@ -216,11 +276,45 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    log.configure(
+        verbose=getattr(args, "verbose", False),
+        quiet=getattr(args, "quiet", False),
+    )
     try:
         return _dispatch(args)
     except ReproError as error:
-        print(f"ect-hub {args.command}: error: {error}", file=sys.stderr)
+        log.error(f"ect-hub {args.command}: error: {error}")
+        if isinstance(error, ParallelError) and error.job_traceback:
+            log.error("worker traceback (job-side):\n" + error.job_traceback)
         return 1
+
+
+def _telemetry_session(args: argparse.Namespace) -> Telemetry | None:
+    """The run's telemetry session, or ``None`` when not requested."""
+    if getattr(args, "telemetry", False) or getattr(args, "trace_out", None):
+        return Telemetry()
+    return None
+
+
+def _emit_telemetry(
+    telemetry: Telemetry | None, args: argparse.Namespace
+) -> None:
+    """Print the telemetry summary and write the requested export files.
+
+    Called after the run (and, for sweeps, after job records have been
+    absorbed), so the session snapshot is the complete RunTelemetry
+    record at this point.
+    """
+    if telemetry is None:
+        return
+    for line in telemetry.summary_lines():
+        log.info(line)
+    record = telemetry.to_dict()
+    if getattr(args, "trace_out", None):
+        log.info(f"wrote {write_telemetry_json(record, args.trace_out)}")
+    if getattr(args, "out", None):
+        sidecar = telemetry_sidecar_path(args.out)
+        log.info(f"wrote {write_telemetry_json(record, sidecar)}")
 
 
 def _resolve_spec_args(
@@ -359,64 +453,76 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "list":
         for experiment_id in available_experiments():
-            print(experiment_id)
+            log.info(experiment_id)
         return 0
     if args.command == "run":
+        telemetry = _telemetry_session(args)
         result = run_experiment(
-            args.experiment, scale=args.scale, seed=args.seed, jobs=args.jobs
+            args.experiment,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            telemetry=telemetry,
         )
-        print(result.rendered())
+        log.info(result.rendered())
+        _emit_telemetry(telemetry, args)
         if args.out:
-            print(f"wrote {write_results_json(result, args.out)}")
+            log.info(f"wrote {write_results_json(result, args.out)}")
         return 0
     if args.command == "run-all":
         results = []
         for experiment_id in available_experiments():
             result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
             results.append(result)
-            print(result.rendered())
-            print()
+            log.info(result.rendered())
+            log.info("")
         if args.out:
-            print(f"wrote {write_results_json(results, args.out)}")
+            log.info(f"wrote {write_results_json(results, args.out)}")
         return 0
     if args.command == "fleet":
-        result = api.run(_fleet_spec(args))
-        print(result.rendered())
+        telemetry = _telemetry_session(args)
+        result = api.run(_fleet_spec(args), telemetry=telemetry)
+        log.info(result.rendered())
+        _emit_telemetry(telemetry, args)
         if args.out:
-            print(f"wrote {write_results_json(result, args.out)}")
+            log.info(f"wrote {write_results_json(result, args.out)}")
         return 0
     if args.command == "train-fleet":
-        result = api.train_fleet(_train_fleet_spec(args))
-        print(result.rendered())
+        telemetry = _telemetry_session(args)
+        result = api.train_fleet(_train_fleet_spec(args), telemetry=telemetry)
+        log.info(result.rendered())
+        _emit_telemetry(telemetry, args)
         if args.out:
-            print(f"wrote {write_results_json(result, args.out)}")
+            log.info(f"wrote {write_results_json(result, args.out)}")
         return 0
     if args.command == "presets":
         if args.check:
             names = verify_roundtrips(build_specs=True)
-            print(f"ok: {len(names)} presets round-trip and compile")
+            log.info(f"ok: {len(names)} presets round-trip and compile")
             return 0
         if args.show is not None:
-            print(get_preset(args.show).to_json())
+            log.info(get_preset(args.show).to_json())
             return 0
         for name in available_presets():
-            print(f"{name:<24} {get_preset(name).description}")
+            log.info(f"{name:<24} {get_preset(name).description}")
         return 0
     if args.command == "sweep":
+        telemetry = _telemetry_session(args)
         sweep = _sweep_spec(args)
         jobs = sweep.jobs()
-        print(f"sweep {sweep.name}: {len(jobs)} jobs over {sweep.base.name!r}")
-        results = api.run_sweep(sweep, jobs=args.jobs)
+        log.info(f"sweep {sweep.name}: {len(jobs)} jobs over {sweep.base.name!r}")
+        results = api.run_sweep(sweep, jobs=args.jobs, telemetry=telemetry)
         for job, result in zip(jobs, results):
             data = result.data
             label = job.label() or "(base)"
-            print(
+            log.info(
                 f"  [{job.index}] {label}: profit ${data['network_profit']:,.0f}, "
                 f"unserved {data['network_unserved_kwh']:,.1f} kWh, "
                 f"curtailed {data['import_shortfall_kwh']:,.1f} kWh"
             )
+        _emit_telemetry(telemetry, args)
         if args.out:
-            print(f"wrote {write_results_json(results, args.out)}")
+            log.info(f"wrote {write_results_json(results, args.out)}")
         return 0
     return 2
 

@@ -65,4 +65,14 @@ class FleetError(ReproError):
 
 
 class ParallelError(ReproError):
-    """A parallel sweep job failed; the message names the job's overrides."""
+    """A parallel sweep job failed; the message names the job's overrides.
+
+    ``job_traceback`` carries the worker's formatted traceback text (the
+    remote stack is otherwise lost when the exception is pickled back),
+    so the CLI can show *where* in the worker the job died, not just
+    which overrides it ran.
+    """
+
+    def __init__(self, message: str, *, job_traceback: str | None = None) -> None:
+        super().__init__(message)
+        self.job_traceback = job_traceback

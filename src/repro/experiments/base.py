@@ -38,12 +38,21 @@ def jsonable(value: Any) -> Any:
 
 @dataclass
 class ExperimentResult:
-    """Output of one experiment runner."""
+    """Output of one experiment runner.
+
+    ``telemetry`` carries the RunTelemetry record (a JSON-ready dict of
+    phase timings, counters, and RL metrics) when the run was executed
+    with a :class:`~repro.telemetry.session.Telemetry` session attached.
+    It is deliberately excluded from :meth:`to_json_dict`: ``--out``
+    exports stay byte-deterministic and diffable, and telemetry is
+    exported through its own sidecar/trace files instead.
+    """
 
     experiment_id: str
     title: str
     data: dict[str, Any] = field(default_factory=dict)
     lines: list[str] = field(default_factory=list)
+    telemetry: dict[str, Any] | None = None
 
     def rendered(self) -> str:
         """The human-readable report."""

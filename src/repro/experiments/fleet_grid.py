@@ -57,13 +57,19 @@ def _base_spec(n_hubs: int, days: int, seed: int) -> ScenarioSpec:
 
 
 def run(
-    *, scale: float = 1.0, seed: int = 0, jobs: int | None = None
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    jobs: int | None = None,
+    telemetry=None,
 ) -> ExperimentResult:
     """Sweep feeder capacity from uncongested to heavily congested.
 
     ``jobs`` fans the capacity levels out over worker processes via
     :func:`repro.api.run_sweep`; the default stays serial, and both
-    executors book identical numbers.
+    executors book identical numbers. ``telemetry`` forwards a
+    :class:`~repro.telemetry.session.Telemetry` session into the sweep
+    (job traces nest under ``sweep-job`` spans) and the reference run.
     """
     # Local import: repro.api pulls the experiment registry package.
     from .. import api
@@ -73,7 +79,7 @@ def run(
     base = _base_spec(n_hubs, days, seed)
 
     # Reference: same feeder topology, unlimited capacity.
-    reference = api.run(base).data
+    reference = api.run(base, telemetry=telemetry).data
     peak_kw = float(max(reference["feeder_peak_import_kw"]))
 
     # The shrinking capacity levels as one sweep grid; the priority-
@@ -88,14 +94,15 @@ def run(
         },
         name="fleet-grid-capacity",
     )
-    results = api.run_sweep(grid_sweep, jobs=jobs)
+    results = api.run_sweep(grid_sweep, jobs=jobs, telemetry=telemetry)
     priority_data = api.run(
         base.with_overrides(
             {
                 "grid.feeder_capacity_kw": tight_kw,
                 "grid.allocation": "priority",
             }
-        )
+        ),
+        telemetry=telemetry,
     ).data
 
     sweep = []

@@ -38,12 +38,14 @@ def run(
     n_feeders: int = 1,
     feeder_capacity_kw: float | None = None,
     allocation: str = "proportional",
+    telemetry=None,
 ) -> ExperimentResult:
     """Batch-simulate a fleet and aggregate per-hub + network economics.
 
     ``feeder_capacity_kw`` enables shared-grid coupling (see
     :class:`~repro.fleet.FeederGroup`); the default is the uncoupled
-    one-infinite-feeder fleet.
+    one-infinite-feeder fleet. ``telemetry`` forwards a
+    :class:`~repro.telemetry.session.Telemetry` session to ``api.run``.
     """
     # Local import: repro.api pulls experiments.base, so importing it at
     # module level would cycle through the experiment registry.
@@ -59,5 +61,6 @@ def run(
             n_feeders=n_feeders,
             feeder_capacity_kw=feeder_capacity_kw,
             allocation=allocation,
-        )
+        ),
+        telemetry=telemetry,
     )

@@ -56,12 +56,16 @@ def run_experiment(
     scale: float = 1.0,
     seed: int = 0,
     jobs: int | None = None,
+    telemetry=None,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
     ``jobs`` requests process-parallel execution for sweep-style
     experiments (currently ``fleet-grid``); passing it to a runner that
     cannot parallelize raises instead of silently running serially.
+    ``telemetry`` (a :class:`~repro.telemetry.session.Telemetry`) is
+    forwarded the same way — only runners built on the telemetry-aware
+    ``api`` entry points accept it.
     """
     if experiment_id not in RUNNERS:
         raise ExperimentError(
@@ -70,10 +74,12 @@ def run_experiment(
         )
     runner = RUNNERS[experiment_id]
     kwargs: dict[str, object] = {"scale": scale, "seed": seed}
-    if jobs is not None:
-        if "jobs" not in inspect.signature(runner).parameters:
+    for name, value in (("jobs", jobs), ("telemetry", telemetry)):
+        if value is None:
+            continue
+        if name not in inspect.signature(runner).parameters:
             raise ExperimentError(
-                f"experiment {experiment_id!r} does not support --jobs"
+                f"experiment {experiment_id!r} does not support --{name}"
             )
-        kwargs["jobs"] = jobs
+        kwargs[name] = value
     return runner(**kwargs)

@@ -29,12 +29,15 @@ def run(
     days: int | None = None,
     train_episodes: int | None = None,
     eval_episodes: int | None = None,
+    telemetry=None,
 ) -> ExperimentResult:
     """Train and evaluate fleet PPO on the default training scenario.
 
     ``scale`` shrinks the fleet, the horizon, and the episode schedule
     together (floors keep a scaled-down run trainable); the explicit
-    keyword overrides pin individual knobs.
+    keyword overrides pin individual knobs. ``telemetry`` forwards a
+    :class:`~repro.telemetry.session.Telemetry` session to
+    ``api.train_fleet``.
     """
     # Local import: repro.api pulls experiments.base, so importing it at
     # module level would cycle through the experiment registry.
@@ -48,5 +51,6 @@ def run(
             days=days,
             train_episodes=train_episodes,
             eval_episodes=eval_episodes,
-        )
+        ),
+        telemetry=telemetry,
     )

@@ -32,6 +32,7 @@ bit-identical to the uncoupled one.
 
 from __future__ import annotations
 
+import time
 from types import SimpleNamespace
 
 import numpy as np
@@ -90,6 +91,10 @@ class FleetSimulation:
         self._initial_soc = self._as_soc_fraction(initial_soc_fraction)
         self.voll_per_kwh = float(voll_per_kwh)
         self._horizon = inputs.horizon
+        #: Optional telemetry session (attach_telemetry). The hot step
+        #: guards every hook behind one ``is not None`` branch, so a run
+        #: without telemetry pays nothing for the instrumentation.
+        self._telemetry = None
         self._precompute_constants()
         self._allocate_buffers()
         self.book = self._new_book()
@@ -214,6 +219,18 @@ class FleetSimulation:
         """Per-hub state of charge as a fraction of capacity."""
         return self.soc_kwh / self.params.capacity_kwh
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach (or detach with ``None``) a :class:`~repro.telemetry.
+        session.Telemetry` session.
+
+        While attached, every step books engine counters (hub-slots,
+        blackout rows, feeder congestion, Eq. 6 reserve dispatches), a
+        per-step duration histogram, and a per-slot ``allocation`` timer
+        on coupled fleets. The booked numbers are observational only —
+        the simulated run is bit-identical with or without a session.
+        """
+        self._telemetry = telemetry
+
     def reset(self, *, soc_fraction: float | np.ndarray | None = None) -> None:
         """Rewind to slot 0 and reset batteries and the fleet cost book.
 
@@ -221,6 +238,8 @@ class FleetSimulation:
         depend only on the immutable params/inputs, not on the run.
         """
         self._t = 0
+        if self._telemetry is not None:
+            self._telemetry.metrics.inc("engine.resets")
         self.book = self._new_book()
         fractions = (
             self._initial_soc
@@ -269,6 +288,9 @@ class FleetSimulation:
                 f"actions must have shape ({self.n_hubs},), got {actions.shape}"
             )
         self._check_actions(actions)
+
+        tele = self._telemetry
+        step_start = time.perf_counter() if tele is not None else 0.0
 
         t = self._t
         params = self.params
@@ -367,6 +389,12 @@ class FleetSimulation:
             b.throughput[dark] = drawn_dark
             unserved[dark] = deficit_kwh - served_kwh
             applied[dark] = IDLE
+            if tele is not None:
+                tele.metrics.inc("engine.blackout_hub_slots", dark.size)
+                tele.metrics.inc(
+                    "engine.reserve_dispatches",
+                    int(np.count_nonzero(drawn_dark > 0.0)),
+                )
 
         # The per-hub interconnection limit applies to the *requested*
         # import, before any feeder-level curtailment (blackout rows
@@ -386,7 +414,14 @@ class FleetSimulation:
             # Resolve feeder contention; the curtailed import is served
             # from the Eq. 6 reserve exactly like a blackout deficit
             # (blackout hubs request 0 import, so they pass through).
-            granted, shortfall_kw = self.feeders.allocate(p_grid, t)
+            if tele is None:
+                granted, shortfall_kw = self.feeders.allocate(p_grid, t)
+            else:
+                alloc_start = time.perf_counter()
+                granted, shortfall_kw = self.feeders.allocate(p_grid, t)
+                tele.metrics.add_time(
+                    "allocation", time.perf_counter() - alloc_start
+                )
             np.copyto(p_grid, granted)
             np.copyto(dest["import_shortfall_kw"], shortfall_kw)
             shortfall_kwh = shortfall_kw * dt
@@ -398,6 +433,17 @@ class FleetSimulation:
             b.throughput += drawn_short
             # (x/η)·η can exceed x by one ulp — never book negative unserved.
             unserved += np.maximum(shortfall_kwh - served_kwh, 0.0)
+            if tele is not None:
+                congested = int(np.count_nonzero(shortfall_kw > 0.0))
+                if congested:
+                    tele.metrics.inc("engine.congested_hub_slots", congested)
+                    tele.metrics.inc(
+                        "engine.curtailed_kwh", float(shortfall_kwh.sum())
+                    )
+                    tele.metrics.inc(
+                        "engine.reserve_dispatches",
+                        int(np.count_nonzero(drawn_short > 0.0)),
+                    )
 
         # Eqs. 8, 9, 11 — identical expressions to compute_slot_ledger.
         np.multiply(p_grid, planes.rtp_dt[:, t], out=dest["grid_cost"])
@@ -413,6 +459,12 @@ class FleetSimulation:
 
         book.commit_slot(t)
         self._t += 1
+        if tele is not None:
+            tele.metrics.inc("engine.slots")
+            tele.metrics.inc("engine.hub_slots", self.params.n_hubs)
+            tele.metrics.observe(
+                "engine.step_seconds", time.perf_counter() - step_start
+            )
         # The views were the kernel's write targets; hand them out
         # read-only so a caller cannot silently corrupt the booked slot.
         for column in dest.values():

@@ -18,8 +18,15 @@ Guarantees:
 * ``jobs=0`` resolves to ``os.cpu_count()``;
 * a failing job raises :class:`~repro.errors.ParallelError` naming the
   job's overrides (so a 100-job grid tells you *which* point died), with
-  the worker's original exception chained as ``__cause__``;
-* the pool never outlives the call (context-managed, failures included).
+  the worker's original exception chained as ``__cause__`` and the
+  worker's formatted traceback carried as ``.job_traceback`` (captured
+  worker-side — the remote stack does not survive pickling otherwise);
+* the pool never outlives the call (context-managed, failures included);
+* with ``with_telemetry=True`` each worker runs its job under a
+  job-local :class:`~repro.telemetry.session.Telemetry` session and
+  ships the RunTelemetry record back on ``result.telemetry``, so the
+  caller can aggregate per-worker phase timings and counters
+  (:meth:`Telemetry.absorb`) exactly as the serial path does.
 
 When to parallelize: each worker pays a process fork plus a result
 pickle, so tiny grids (a handful of sub-second jobs) are usually faster
@@ -30,11 +37,29 @@ serial. The sweet spot is many jobs x non-trivial horizons — see the
 from __future__ import annotations
 
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from .errors import ConfigError, ParallelError
 from .experiments.base import ExperimentResult
 from .spec.sweep import SweepJob
+from .telemetry import log
+
+
+def _remote_traceback(error: BaseException) -> str:
+    """The failing worker's formatted traceback.
+
+    ``concurrent.futures`` re-raises worker exceptions in the parent with
+    the remote stack attached as a ``_RemoteTraceback`` cause (the real
+    traceback object cannot be pickled). Fall back to formatting the
+    exception locally if that private chain ever changes shape.
+    """
+    cause = getattr(error, "__cause__", None)
+    if type(cause).__name__ == "_RemoteTraceback":
+        return str(cause).strip().strip('"').strip()
+    return "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    ).strip()
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -49,18 +74,25 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _run_payload(payload: str) -> ExperimentResult:
-    """Worker entry point: spec JSON in, completed result out."""
+def _run_payload(payload: str, with_telemetry: bool = False) -> ExperimentResult:
+    """Worker entry point: spec JSON in, completed result out.
+
+    ``with_telemetry`` runs the job under a worker-local telemetry
+    session; the record rides back on ``result.telemetry`` (metadata is
+    skipped — the parent stamps one fingerprint for the whole sweep).
+    """
     # Local imports keep the worker bootstrap light under spawn-style
     # start methods (under fork they are already-cached module lookups).
     from . import api
     from .spec.scenario import ScenarioSpec
+    from .telemetry import Telemetry
 
-    return api.run(ScenarioSpec.from_json(payload))
+    telemetry = Telemetry(include_meta=False) if with_telemetry else None
+    return api.run(ScenarioSpec.from_json(payload), telemetry=telemetry)
 
 
 def run_jobs_parallel(
-    expanded: list[SweepJob], n_workers: int
+    expanded: list[SweepJob], n_workers: int, *, with_telemetry: bool = False
 ) -> list[ExperimentResult]:
     """Run pre-expanded sweep jobs over a worker pool, ordered by index.
 
@@ -72,9 +104,10 @@ def run_jobs_parallel(
         return []
     results: list[ExperimentResult | None] = [None] * len(expanded)
     workers = min(n_workers, len(expanded))
+    log.debug("starting worker pool", workers=workers, jobs=len(expanded))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         future_jobs = {
-            pool.submit(_run_payload, job.spec.to_json()): job
+            pool.submit(_run_payload, job.spec.to_json(), with_telemetry): job
             for job in expanded
         }
         # Collect in completion order so the *first* failure is observed
@@ -90,6 +123,7 @@ def run_jobs_parallel(
                 label = job.label() or "(base spec)"
                 raise ParallelError(
                     f"sweep job {job.index} [{label}] failed in a worker: "
-                    f"{error}"
+                    f"{error}",
+                    job_traceback=_remote_traceback(error),
                 ) from error
     return results  # type: ignore[return-value]

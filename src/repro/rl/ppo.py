@@ -58,12 +58,19 @@ class PpoConfig:
 
 @dataclass
 class UpdateStats:
-    """Diagnostics from one PPO update."""
+    """Diagnostics from one PPO update.
+
+    ``approx_kl`` is the standard first-order estimator
+    ``E[log π_old − log π_new]`` averaged over minibatches — the drift
+    diagnostic telemetry reports per update (≈0 means the clipped
+    objective barely moved the policy).
+    """
 
     policy_loss: float
     value_loss: float
     entropy: float
     clip_fraction: float
+    approx_kl: float = 0.0
 
 
 class PpoAgent:
@@ -140,6 +147,7 @@ class PpoAgent:
             last_value, gamma=cfg.gamma, gae_lambda=cfg.gae_lambda
         )
         total_policy, total_value, total_entropy, total_clipped = 0.0, 0.0, 0.0, 0.0
+        total_kl = 0.0
         n_batches = 0
 
         for _ in range(cfg.update_epochs):
@@ -175,6 +183,9 @@ class PpoAgent:
                 total_clipped += float(
                     (np.abs(ratios - 1.0) > cfg.clip_epsilon).mean()
                 )
+                # E[log π_old − log π_new] = E[−log r]; ratios are
+                # exp(new − old) so positive by construction.
+                total_kl += float(-np.log(ratios).mean())
                 total_policy += policy_loss.item()
                 total_value += value_loss.item()
                 total_entropy += entropy.item()
@@ -187,4 +198,5 @@ class PpoAgent:
             value_loss=total_value / denom,
             entropy=total_entropy / denom,
             clip_fraction=total_clipped / denom,
+            approx_kl=total_kl / denom,
         )

@@ -8,6 +8,7 @@ config away.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -125,6 +126,7 @@ def train_fleet_ppo(
     config: PpoConfig | None = None,
     rng: np.random.Generator | None = None,
     agent: PpoAgent | None = None,
+    telemetry=None,
 ) -> tuple[PpoAgent, FleetTrainingHistory]:
     """Train one parameter-shared PPO agent over a batched fleet env.
 
@@ -132,6 +134,11 @@ def train_fleet_ppo(
     forward pass; one PPO update runs per episode over the whole
     ``episode_length x n_hubs`` rollout, with GAE computed per hub.
     Returns the agent and the history of per-hub raw episode returns.
+
+    ``telemetry`` (a :class:`~repro.telemetry.session.Telemetry`, or
+    ``None``) records per-episode rollout time, a ``ppo-update`` span per
+    update, and the update diagnostics (reward mean/std, losses, KL,
+    entropy) — the training half of the RunTelemetry record.
     """
     if episodes <= 0:
         raise ModelError(f"episodes must be positive, got {episodes}")
@@ -139,7 +146,8 @@ def train_fleet_ppo(
     buffer = FleetRolloutBuffer(env.episode_length, env.n_hubs, env.state_dim())
     history = FleetTrainingHistory()
 
-    for _ in range(episodes):
+    for episode in range(episodes):
+        rollout_start = time.perf_counter() if telemetry is not None else 0.0
         states = env.reset()
         episode_returns = np.zeros(env.n_hubs)
         done = False
@@ -149,7 +157,23 @@ def train_fleet_ppo(
             buffer.add(states, actions, log_probs, values, rewards, done)
             episode_returns += info["reward_raw"]
             states = next_states
-        stats = agent.update(buffer, last_value=0.0)
+        if telemetry is not None:
+            telemetry.metrics.add_time(
+                "rl.rollout", time.perf_counter() - rollout_start
+            )
+            with telemetry.span("ppo-update", episode=episode):
+                stats = agent.update(buffer, last_value=0.0)
+            telemetry.record_rl_update(
+                reward_mean=float(episode_returns.mean()),
+                reward_std=float(episode_returns.std()),
+                policy_loss=stats.policy_loss,
+                value_loss=stats.value_loss,
+                entropy=stats.entropy,
+                approx_kl=stats.approx_kl,
+                clip_fraction=stats.clip_fraction,
+            )
+        else:
+            stats = agent.update(buffer, last_value=0.0)
         history.episode_returns.append(episode_returns)
         history.update_stats.append(stats)
     return agent, history

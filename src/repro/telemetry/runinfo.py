@@ -1,0 +1,54 @@
+"""Run metadata: the environment fingerprint stamped onto exports.
+
+Benchmark reports and telemetry exports are only interpretable across
+machines and PRs when they say *where* they ran: the same workload does
+1.9M hub-slots/sec on one box and 600k on another, and a relaxed-perf CI
+run must not be confused with a strict local one. :func:`run_metadata`
+collects the short list the bench trajectory needs — hostname, python
+and numpy versions, the git commit, and the ``ECT_PERF_RELAXED`` flag —
+and caches it per process (the git subprocess runs once, not per
+report).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+from functools import lru_cache
+
+
+def _git_commit() -> str | None:
+    """The repo HEAD commit, or None outside a git checkout."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = output.stdout.strip()
+    return commit if output.returncode == 0 and commit else None
+
+
+@lru_cache(maxsize=1)
+def run_metadata() -> dict:
+    """The environment fingerprint, cached for the process lifetime.
+
+    Returns a fresh copy-safe dict of plain strings/bools so callers can
+    embed it straight into JSON payloads.
+    """
+    import numpy
+
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy.__version__,
+        "git_commit": _git_commit(),
+        "ect_perf_relaxed": os.environ.get("ECT_PERF_RELAXED", "") == "1",
+    }
