@@ -43,7 +43,7 @@ from .spec.compiler import (
     ppo_config_from_spec,
 )
 from .spec.presets import get_preset
-from .spec.scenario import ScenarioSpec
+from .spec.scenario import PRICING_POLICIES, ScenarioSpec
 from .spec.sweep import SweepSpec
 from .telemetry import Telemetry, log
 
@@ -85,7 +85,7 @@ def run(
         simulation = compiled.simulation
     else:
         with telemetry.span("compile", scenario=resolved.name):
-            compiled = _compile(resolved)
+            compiled = _compile(resolved, telemetry=telemetry)
         simulation = compiled.simulation
         simulation.attach_telemetry(telemetry)
         with telemetry.span("reset"):
@@ -142,6 +142,16 @@ def run(
         "feeder_shortfall_kwh": book.feeder_shortfall_kwh,
         "feeder_peak_import_kw": book.feeder_peak_import_kw,
     }
+    pricing = compiled.pricing
+    if pricing is not None:
+        # Deterministic pricing provenance: how the discount plane was
+        # built (training size, selection counts, congestion shaping).
+        data["pricing_policy"] = pricing.policy
+        data["pricing_discount_level"] = resolved.pricing.discount_level
+        data["pricing_discounted_hub_slots"] = pricing.discounted_hub_slots
+        data["pricing_mean_discount"] = pricing.mean_discount
+        data["pricing_train_items"] = pricing.n_train_items
+        data["pricing_feeder_aware"] = pricing.feeder_aware
 
     lines = [
         f"fleet of {n_hubs} hubs x {days} days, "
@@ -159,6 +169,14 @@ def run(
         f"median {np.median(daily.mean(axis=1)):.1f}  "
         f"max {daily.mean(axis=1).max():.1f}",
     ]
+    if pricing is not None:
+        share = pricing.discounted_hub_slots / max(n_hubs * simulation.horizon, 1)
+        lines.append(
+            f"pricing {pricing.policy}: {pricing.discounted_hub_slots} "
+            f"discounted hub-slots ({100 * share:.1f}%) at level "
+            f"{resolved.pricing.discount_level:g}"
+            + (", feeder-aware" if pricing.feeder_aware else "")
+        )
     if coupled:
         capacity = resolved.grid.feeder_capacity_kw
         profile = " (profiled)" if resolved.grid.capacity_profile else ""
@@ -406,3 +424,122 @@ def run_sweep(
         if telemetry is not None:
             telemetry.absorb(result.telemetry, label="sweep-job", index=job.index)
     return results
+
+
+#: Methods ``run_pricing`` compares when none are named: the no-discount
+#: reference, the operators' evening heuristic, ECT-Price, and the three
+#: uplift baselines — the Table III lineup plus the heuristic yardstick.
+DEFAULT_PRICING_METHODS = ("none", "evening", "ours", "or", "ips", "dr")
+
+
+def run_pricing(
+    spec: ScenarioSpec | str,
+    *,
+    methods: tuple[str, ...] | list[str] | None = None,
+    jobs: int | None = None,
+    telemetry: Telemetry | None = None,
+) -> ExperimentResult:
+    """Compare discount policies over one fleet — Table III at city scale.
+
+    Expands the spec into a ``pricing.policy`` sweep (one engine run per
+    method, every other knob shared, so all methods price the *same*
+    latent demand) and aggregates per-method network profit and average
+    daily reward per hub. ``jobs`` fans the methods out over worker
+    processes exactly like :func:`run_sweep` — byte-identical to serial.
+
+    When the grid is capacity-limited and both ``ours`` and ``evening``
+    run, the report adds the learned-vs-heuristic profit comparison under
+    congestion (the feeder-aware pricing loop's acceptance measure).
+    """
+    resolved = resolve_spec(spec)
+    methods = (
+        tuple(methods) if methods is not None else DEFAULT_PRICING_METHODS
+    )
+    if not methods:
+        raise ConfigError("run_pricing needs at least one method")
+    for name in methods:
+        if name not in PRICING_POLICIES:
+            raise ConfigError(
+                f"unknown pricing method {name!r}; "
+                f"available: {', '.join(PRICING_POLICIES)}"
+            )
+    if len(set(methods)) != len(methods):
+        raise ConfigError(f"duplicate pricing methods in {methods}")
+
+    sweep = SweepSpec(
+        base=resolved,
+        parameters={"pricing.policy": methods},
+        name=f"{resolved.name}-pricing",
+    )
+    results = run_sweep(sweep, jobs=jobs, telemetry=telemetry)
+
+    table: dict[str, dict[str, object]] = {}
+    for name, method_result in zip(methods, results):
+        method_data = method_result.data
+        table[name] = {
+            "network_profit": method_data["network_profit"],
+            "avg_daily_reward_per_hub": float(
+                np.asarray(method_data["avg_daily_reward_per_hub"]).mean()
+            ),
+            "discounted_hub_slots": method_data.get(
+                "pricing_discounted_hub_slots", 0
+            ),
+            "unserved_kwh": method_data["network_unserved_kwh"],
+        }
+
+    n_hubs = results[0].data["n_hubs"]
+    days = results[0].data["days"]
+    coupled = resolved.grid.feeder_capacity_kw is not None
+    data = {
+        "scenario": resolved.name,
+        "spec": resolved.to_dict(),
+        "n_hubs": n_hubs,
+        "days": days,
+        "methods": list(methods),
+        "per_method": table,
+        "discount_level": resolved.pricing.discount_level,
+        "budget_fraction": resolved.pricing.budget_fraction,
+        "feeder_capacity_kw": resolved.grid.feeder_capacity_kw,
+        "feeder_aware": resolved.pricing.feeder_aware and coupled,
+    }
+
+    baseline = table.get("none")
+    lines = [
+        f"fleet pricing over {n_hubs} hubs x {days} days, "
+        f"discount level {resolved.pricing.discount_level:g}, "
+        f"budget {resolved.pricing.budget_fraction:g}"
+        + (", feeder-aware" if data["feeder_aware"] else ""),
+    ]
+    for name in methods:
+        row = table[name]
+        delta = (
+            ""
+            if baseline is None or name == "none"
+            else (
+                f"  (vs none "
+                f"{row['network_profit'] - baseline['network_profit']:+,.0f})"
+            )
+        )
+        lines.append(
+            f"  {name:<8} profit ${row['network_profit']:>12,.0f}  "
+            f"avg daily/hub ${row['avg_daily_reward_per_hub']:>8,.1f}  "
+            f"discounted {row['discounted_hub_slots']:>6}{delta}"
+        )
+    if coupled and "ours" in table and "evening" in table:
+        ours = table["ours"]["network_profit"]
+        heuristic = table["evening"]["network_profit"]
+        lines.append(
+            f"learned vs heuristic under congestion: ours ${ours:,.0f} vs "
+            f"evening ${heuristic:,.0f} ({ours - heuristic:+,.0f})"
+        )
+
+    result = ExperimentResult(
+        experiment_id="fleet-price",
+        title="Fleet-scale discount pricing (Table III at city scale)",
+        data=data,
+        lines=lines,
+    )
+    if telemetry is not None:
+        telemetry.metrics.inc("pricing.methods", len(methods))
+        result.telemetry = telemetry.to_dict()
+    return result

@@ -15,7 +15,12 @@ from .baselines import (
     UpliftPrediction,
     make_baseline,
 )
-from .dataset import PricingDataset, dataset_from_log, train_test_split_by_day
+from .dataset import (
+    PricingDataset,
+    dataset_from_log,
+    time_ids_for_slots,
+    train_test_split_by_day,
+)
 from .ect_price import EctPriceConfig, EctPriceModel
 from .evaluation import DiscountOutcome, render_table, score_decision
 from .ncf import NcfConfig, NcfNetwork, NcfRegressor, pretrain_rating_model
@@ -23,6 +28,7 @@ from .policy import (
     DiscountDecision,
     DiscountPolicy,
     EctPricePolicy,
+    EveningHeuristicPolicy,
     OraclePolicy,
     UpliftPolicy,
     discount_schedule_for_hub,
@@ -42,6 +48,7 @@ __all__ = [
     "EctPriceConfig",
     "EctPriceModel",
     "EctPricePolicy",
+    "EveningHeuristicPolicy",
     "InversePropensityScoring",
     "NcfConfig",
     "NcfNetwork",
@@ -62,5 +69,6 @@ __all__ = [
     "pretrain_rating_model",
     "render_table",
     "score_decision",
+    "time_ids_for_slots",
     "train_test_split_by_day",
 ]

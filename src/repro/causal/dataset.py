@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import DataError
 from ..synth.charging import ChargingLog
+from ..timeutils import SlotCalendar
 from ..units import HOURS_PER_DAY
 
 
@@ -118,6 +119,28 @@ def dataset_from_log(
         n_stations=n_stations,
         n_time_ids=n_time_ids,
     )
+
+
+def time_ids_for_slots(
+    n_slots: int,
+    *,
+    calendar: SlotCalendar | None = None,
+    use_weekend_flag: bool = True,
+) -> np.ndarray:
+    """Map simulation slots to the pricing models' time-feature ids.
+
+    The same hour-of-day × weekend crossing as :func:`dataset_from_log`
+    (48 ids by default, 24 without the weekend flag), so schedules built
+    from a trained policy index the exact embedding cells the policy was
+    trained on.
+    """
+    calendar = calendar or SlotCalendar()
+    slots = np.arange(n_slots)
+    hod = np.asarray(calendar.hour_of_day(slots))
+    if not use_weekend_flag:
+        return hod
+    weekend = np.asarray(calendar.is_weekend(slots)).astype(int)
+    return hod + HOURS_PER_DAY * weekend
 
 
 def train_test_split_by_day(

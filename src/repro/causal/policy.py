@@ -78,6 +78,21 @@ def select_with_budget(score: np.ndarray, budget: int | None) -> np.ndarray:
     return mask
 
 
+def _apply_score_offset(
+    score: np.ndarray, score_offset: np.ndarray | None
+) -> np.ndarray:
+    """Subtract a per-item penalty (e.g. feeder congestion) from scores."""
+    if score_offset is None:
+        return score
+    offset = np.asarray(score_offset, dtype=float)
+    if offset.shape != score.shape:
+        raise ConfigError(
+            f"score_offset shape {offset.shape} does not match the "
+            f"{score.shape} item set"
+        )
+    return score - offset
+
+
 class DiscountPolicy:
     """Interface: items in, discount decisions out."""
 
@@ -96,10 +111,17 @@ class DiscountPolicy:
         *,
         discount_level: float = 0.0,
         budget: int | None = None,
+        score_offset: np.ndarray | None = None,
     ) -> DiscountDecision:
-        """Budgeted reward-ranked selection (the Table II protocol)."""
+        """Budgeted reward-ranked selection (the Table II protocol).
+
+        ``score_offset`` is subtracted from every item's score before
+        selection — the feeder-aware congestion penalty's entry point.
+        ``None`` leaves the protocol untouched.
+        """
         p = self.incentive_probability(station_ids, time_ids)
         score = expected_discount_reward(p, discount_level)
+        score = _apply_score_offset(score, score_offset)
         return DiscountDecision(
             discounted=select_with_budget(score, budget), score=score
         )
@@ -145,12 +167,14 @@ class EctPricePolicy(DiscountPolicy):
         *,
         discount_level: float = 0.0,
         budget: int | None = None,
+        score_offset: np.ndarray | None = None,
     ) -> DiscountDecision:
         probs = self.model.predict_strata(station_ids, time_ids)
         p_inc = probs[:, int(Stratum.INCENTIVE)]
         p_alw = probs[:, int(Stratum.ALWAYS)]
         score = expected_discount_reward(p_inc, discount_level)
         score = np.where(p_alw > self.always_avoidance_threshold, -1.0, score)
+        score = _apply_score_offset(score, score_offset)
         return DiscountDecision(
             discounted=select_with_budget(score, budget), score=score
         )
@@ -168,6 +192,35 @@ class UpliftPolicy(DiscountPolicy):
     ) -> np.ndarray:
         prediction = self.model.predict(station_ids, time_ids)
         return np.clip(prediction.uplift, 0.0, 1.0)
+
+
+class EveningHeuristicPolicy(DiscountPolicy):
+    """The operators' rule of thumb: discount the evening hours.
+
+    This is the heuristic the historical logging policy leaned on
+    (:meth:`~repro.synth.charging.ChargingBehaviorModel.propensity` boosts
+    18:00–24:00) — the learned-vs-heuristic reference point for the
+    fleet-scale pricing comparison. Time ids may carry the weekend
+    crossing; only the hour-of-day component matters here.
+    """
+
+    name = "Evening"
+
+    def __init__(self, evening_hours: tuple[int, int] = (18, 24)) -> None:
+        start, end = evening_hours
+        if not 0 <= start < end <= 24:
+            raise ConfigError(
+                f"evening_hours must satisfy 0 <= start < end <= 24, got "
+                f"{evening_hours}"
+            )
+        self.evening_hours = (int(start), int(end))
+
+    def incentive_probability(
+        self, station_ids: np.ndarray, time_ids: np.ndarray
+    ) -> np.ndarray:
+        start, end = self.evening_hours
+        hours = np.asarray(time_ids, dtype=int) % 24
+        return ((hours >= start) & (hours < end)).astype(float)
 
 
 class OraclePolicy(DiscountPolicy):
@@ -196,12 +249,15 @@ def discount_schedule_for_hub(
     *,
     discount_level: float,
     budget_fraction: float | None = None,
+    score_offset: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-slot discount fractions for one hub under a trained policy.
 
     ``time_ids_by_slot`` maps each simulation slot to its time-feature id;
     the returned array feeds :class:`~repro.hub.simulation.HubInputs`.
     ``budget_fraction`` optionally caps the share of slots discounted.
+    ``score_offset`` (per slot) penalizes slots before selection — the
+    feeder-congestion signal of the fleet pricing loop.
     """
     if not 0.0 <= discount_level < 1.0:
         raise ConfigError(f"discount_level must be in [0, 1), got {discount_level}")
@@ -213,6 +269,10 @@ def discount_schedule_for_hub(
         else int(round(budget_fraction * len(time_ids)))
     )
     decision = policy.decide(
-        stations, time_ids, discount_level=discount_level, budget=budget
+        stations,
+        time_ids,
+        discount_level=discount_level,
+        budget=budget,
+        score_offset=score_offset,
     )
     return np.where(decision.discounted, discount_level, 0.0)

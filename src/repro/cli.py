@@ -13,6 +13,9 @@ Usage::
     ect-hub train-fleet --n-hubs 12 --episodes 100
     ect-hub train-fleet --preset congested-city --set rl.train_episodes=50
 
+    ect-hub price --n-hubs 100 [--methods none,evening,ours,or,ips,dr]
+    ect-hub price --preset congested-city --set pricing.feeder_aware=true
+
     ect-hub presets [--show NAME] [--check]
     ect-hub sweep --preset fleet-default --param run.seed=0,1,2
     ect-hub sweep --spec sweep.json --out sweep.json
@@ -50,6 +53,7 @@ from .spec import (
     parse_assignments,
     parse_override_value,
     spec_from_fleet_flags,
+    spec_from_price_flags,
     spec_from_train_fleet_flags,
     verify_roundtrips,
 )
@@ -219,6 +223,75 @@ def build_parser() -> argparse.ArgumentParser:
     train_p.add_argument("--scale", type=float, default=None)
     train_p.add_argument("--seed", type=int, default=None)
     train_p.add_argument("--out", type=str, default=None, help="write data as JSON")
+
+    price_p = sub.add_parser(
+        "price",
+        help="compare discount pricing policies over one fleet (Table III)",
+        parents=[verbosity, telemetry_args],
+    )
+    price_spec_g = price_p.add_argument_group("declarative scenario")
+    price_spec_g.add_argument(
+        "--spec", type=str, default=None, help="scenario spec JSON file"
+    )
+    price_spec_g.add_argument(
+        "--preset", type=str, default=None, help="named preset (see `presets`)"
+    )
+    price_spec_g.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted override, e.g. --set pricing.discount_level=0.3",
+    )
+    price_flag_g = price_p.add_argument_group(
+        "pricing flags (shim; not combinable with --spec/--preset)"
+    )
+    price_flag_g.add_argument("--n-hubs", type=int, default=None)
+    price_flag_g.add_argument("--days", type=int, default=None)
+    price_flag_g.add_argument(
+        "--train-days",
+        type=int,
+        default=None,
+        help="simulated historical log length the policies train on",
+    )
+    price_flag_g.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="ECT-Price training epochs (baselines split the same budget)",
+    )
+    price_flag_g.add_argument(
+        "--discount",
+        type=float,
+        default=None,
+        help="discount level in [0, 1) offered on selected hub-slots",
+    )
+    price_flag_g.add_argument(
+        "--feeder-capacity",
+        type=float,
+        default=None,
+        help="per-feeder import capacity in kW; also turns on feeder-aware "
+        "pricing (default: unlimited/uncoupled)",
+    )
+    price_p.add_argument(
+        "--methods",
+        type=str,
+        default=None,
+        metavar="M1,M2,...",
+        help="comma-separated policies to compare "
+        "(default: none,evening,ours,or,ips,dr)",
+    )
+    price_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes, one method per job "
+        "(0 = all cores; default: serial, byte-identical either way)",
+    )
+    price_p.add_argument("--scale", type=float, default=None)
+    price_p.add_argument("--seed", type=int, default=None)
+    price_p.add_argument("--out", type=str, default=None, help="write data as JSON")
 
     presets_p = sub.add_parser(
         "presets", help="list/inspect scenario presets", parents=[verbosity]
@@ -412,6 +485,45 @@ def _train_fleet_spec(args: argparse.Namespace) -> ScenarioSpec:
     )
 
 
+def _price_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Resolve the ``price`` subcommand's arguments into one spec."""
+    return _resolve_spec_args(
+        args,
+        {
+            "--n-hubs": args.n_hubs,
+            "--days": args.days,
+            "--train-days": args.train_days,
+            "--epochs": args.epochs,
+            "--discount": args.discount,
+            "--feeder-capacity": args.feeder_capacity,
+        },
+        lambda *, scale, seed: spec_from_price_flags(
+            scale=scale,
+            seed=seed,
+            n_hubs=args.n_hubs,
+            days=args.days,
+            train_days=args.train_days,
+            epochs=args.epochs,
+            discount_level=args.discount,
+            feeder_aware=args.feeder_capacity is not None,
+            feeder_capacity_kw=args.feeder_capacity,
+        ),
+        "pricing.discount_level=0.3",
+    )
+
+
+def _price_methods(args: argparse.Namespace) -> tuple[str, ...] | None:
+    """Parse ``--methods M1,M2,...`` (``None`` = the default lineup)."""
+    if args.methods is None:
+        return None
+    methods = tuple(
+        name.strip() for name in args.methods.split(",") if name.strip()
+    )
+    if not methods:
+        raise ConfigError("--methods needs at least one policy name")
+    return methods
+
+
 def _sweep_spec(args: argparse.Namespace) -> SweepSpec:
     """Resolve the ``sweep`` subcommand's arguments into one SweepSpec."""
     sources = [args.spec, args.preset, args.base_spec]
@@ -490,6 +602,19 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "train-fleet":
         telemetry = _telemetry_session(args)
         result = api.train_fleet(_train_fleet_spec(args), telemetry=telemetry)
+        log.info(result.rendered())
+        _emit_telemetry(telemetry, args)
+        if args.out:
+            log.info(f"wrote {write_results_json(result, args.out)}")
+        return 0
+    if args.command == "price":
+        telemetry = _telemetry_session(args)
+        result = api.run_pricing(
+            _price_spec(args),
+            methods=_price_methods(args),
+            jobs=args.jobs,
+            telemetry=telemetry,
+        )
         log.info(result.rendered())
         _emit_telemetry(telemetry, args)
         if args.out:

@@ -17,6 +17,7 @@ from . import (
     fig12_periods,
     fig13_hub_rewards,
     fleet_grid,
+    fleet_price,
     fleet_sim,
     table2_ect_price,
     table3_hub_daily,
@@ -41,6 +42,7 @@ RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
     "abl-loss": ablations.run_loss_forms,
     "fleet": fleet_sim.run,
     "fleet-grid": fleet_grid.run,
+    "fleet-price": fleet_price.run,
     "train-fleet": train_fleet.run,
 }
 

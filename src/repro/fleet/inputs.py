@@ -150,6 +150,38 @@ class FleetInputs:
             outage=outage,
         )
 
+    def with_occupancy(
+        self, occupied: np.ndarray, discount: np.ndarray
+    ) -> "FleetInputs":
+        """New inputs with the occupancy/discount planes swapped in.
+
+        The four exogenous trace planes (load, tariff, PV, wind) and the
+        outage mask are shared with ``self`` — this is the pricing loop's
+        injection seam: a discount schedule re-realises occupancy without
+        re-stacking the per-hub traces. 1-D rows broadcast across hubs.
+        """
+        shape = (self.n_hubs, self.horizon)
+        occupied = np.asarray(occupied, dtype=int)
+        discount = np.asarray(discount, dtype=float)
+        if occupied.ndim == 1:
+            occupied = np.broadcast_to(occupied, shape).copy()
+        if discount.ndim == 1:
+            discount = np.broadcast_to(discount, shape).copy()
+        if occupied.shape != shape or discount.shape != shape:
+            raise FleetError(
+                f"occupancy/discount planes must have shape {shape}, got "
+                f"{occupied.shape} and {discount.shape}"
+            )
+        return FleetInputs(
+            load_rate=self.load_rate,
+            rtp_kwh=self.rtp_kwh,
+            pv_power_kw=self.pv_power_kw,
+            wt_power_kw=self.wt_power_kw,
+            occupied=occupied,
+            discount=discount,
+            outage=self.outage,
+        )
+
     def hub(self, index: int) -> HubInputs:
         """Row ``index`` as scalar-engine :class:`HubInputs`."""
         if not 0 <= index < self.n_hubs:

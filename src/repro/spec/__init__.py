@@ -29,14 +29,17 @@ from .compiler import (
     make_scheduler,
     ppo_config_from_spec,
     spec_from_fleet_flags,
+    spec_from_price_flags,
     spec_from_train_fleet_flags,
 )
 from .presets import PRESETS, available_presets, get_preset, verify_roundtrips
 from .scenario import (
+    PRICING_POLICIES,
     BlackoutSpec,
     FleetSpec,
     GridSpec,
     HubGroupSpec,
+    PricingSpec,
     RlSpec,
     RunSpec,
     ScenarioSpec,
@@ -49,12 +52,14 @@ from .sweep import SweepJob, SweepSpec
 
 __all__ = [
     "PRESETS",
+    "PRICING_POLICIES",
     "BlackoutSpec",
     "CompiledScenario",
     "FleetAssembly",
     "FleetSpec",
     "GridSpec",
     "HubGroupSpec",
+    "PricingSpec",
     "RlSpec",
     "RunSpec",
     "ScenarioSpec",
@@ -71,6 +76,7 @@ __all__ = [
     "parse_override_value",
     "ppo_config_from_spec",
     "spec_from_fleet_flags",
+    "spec_from_price_flags",
     "spec_from_train_fleet_flags",
     "verify_roundtrips",
 ]

@@ -41,6 +41,7 @@ from .scenario import (
     FleetSpec,
     GridSpec,
     HubGroupSpec,
+    PricingSpec,
     RlSpec,
     RunSpec,
     ScenarioSpec,
@@ -53,6 +54,12 @@ DEFAULT_OUTAGE_PROBABILITY = 0.001
 #: ``ect-hub train-fleet`` flag defaults (scale-1 values).
 DEFAULT_TRAIN_FLEET_HUBS = 6
 DEFAULT_TRAIN_FLEET_DAYS = 10
+
+#: ``ect-hub price`` flag defaults (scale-1 values): the Table III
+#: reproduction at city scale — 100 hubs, one week of pricing.
+DEFAULT_PRICE_HUBS = 100
+DEFAULT_PRICE_DAYS = 7
+DEFAULT_PRICE_TRAIN_DAYS = 30
 
 
 def _scaled(value: int, scale: float, *, minimum: int = 1) -> int:
@@ -77,6 +84,9 @@ class CompiledScenario:
     scheduler: FleetScheduler
     n_hubs: int
     days: int
+    #: Set when the spec's ``pricing`` section compiled a discount
+    #: schedule (:class:`~repro.spec.pricing.CompiledPricing`).
+    pricing: object | None = None
 
     def execute(self):
         """Run the remaining horizon under the spec'd scheduler."""
@@ -191,6 +201,12 @@ class FleetAssembly:
     the full-horizon realisation and engine would be dead work there).
     All randomness is drawn from name-keyed :class:`RngFactory` streams,
     so both targets see identical scenarios/outages for one spec.
+
+    The latent charging strata are realised lazily (:meth:`realize_strata`)
+    and cached: the strata draw does not depend on the discount schedule,
+    so :meth:`realize_occupancy` can resolve the *same* latent demand
+    against any per-hub ``(n_hubs, horizon)`` discount plane in one
+    vectorized pass — the pricing loop's injection seam.
     """
 
     spec: ScenarioSpec
@@ -201,6 +217,63 @@ class FleetAssembly:
     n_hubs: int
     days: int
     horizon: int
+    _strata: np.ndarray | None = dataclasses.field(
+        default=None, init=False, repr=False
+    )
+
+    def realize_strata(self) -> np.ndarray:
+        """Latent strata per (hub, slot), cached — ``(n_hubs, horizon)`` int.
+
+        Streams are name-keyed per hub (``fleet/occupancy/{hub_id}``) from
+        a fresh run-seed factory, so the rows here are bit-identical to
+        what the pre-refactor inline loop in :func:`build` drew — and to
+        what any later caller with the same spec draws.
+        """
+        if self._strata is None:
+            factory = RngFactory(seed=self.spec.run.seed)
+            slots = np.arange(self.horizon)
+            self._strata = np.stack(
+                [
+                    self.behavior.sample_strata(
+                        scenario.site.hub_id,
+                        slots,
+                        factory.stream(f"fleet/occupancy/{scenario.site.hub_id}"),
+                    )
+                    for scenario in self.scenarios
+                ]
+            )
+        return self._strata
+
+    def discount_rows(self, discount: np.ndarray | None) -> np.ndarray:
+        """Normalize a discount schedule to ``(n_hubs, horizon)`` float.
+
+        ``None`` means the zero-discount baseline; 1-D schedules broadcast
+        across hubs; anything else must already be per-hub-per-slot.
+        """
+        shape = (self.n_hubs, self.horizon)
+        if discount is None:
+            return np.zeros(shape)
+        rows = np.asarray(discount, dtype=float)
+        if rows.ndim == 1:
+            rows = np.broadcast_to(rows, shape).copy()
+        if rows.shape != shape:
+            raise ConfigError(
+                f"discount schedule must have shape {shape} (or broadcast "
+                f"from ({self.horizon},)), got {rows.shape}"
+            )
+        return rows
+
+    def realize_occupancy(self, discount: np.ndarray | None = None) -> np.ndarray:
+        """Charging occupancy under a discount schedule — one vectorized pass.
+
+        Incentive-stratum slots charge exactly when discounted; Always
+        slots charge regardless; None slots never do. Because the cached
+        strata are discount-independent, re-pricing the fleet re-realises
+        all hubs at numpy speed without touching the rng.
+        """
+        return resolve_occupancy(
+            self.realize_strata(), self.discount_rows(discount) > 0.0
+        )
 
 
 def _assemble_fleet(spec: ScenarioSpec) -> FleetAssembly:
@@ -245,6 +318,21 @@ def _assemble_fleet(spec: ScenarioSpec) -> FleetAssembly:
         for site, group in zip(sites, per_hub)
     ]
 
+    strata_scales: np.ndarray | None = None
+    if any(
+        group is not None
+        and (group.incentive_scale is not None or group.always_scale is not None)
+        for group in per_hub
+    ):
+        strata_scales = np.ones((n_hubs, 2))
+        for index, group in enumerate(per_hub):
+            if group is None:
+                continue
+            if group.incentive_scale is not None:
+                strata_scales[index, 0] = group.incentive_scale
+            if group.always_scale is not None:
+                strata_scales[index, 1] = group.always_scale
+
     outage: np.ndarray | None = None
     if spec.blackout.outage_probability_per_hour > 0.0:
         model = BlackoutModel(
@@ -265,7 +353,9 @@ def _assemble_fleet(spec: ScenarioSpec) -> FleetAssembly:
     return FleetAssembly(
         spec=spec,
         scenarios=scenarios,
-        behavior=ChargingBehaviorModel(base_config.charging, factory),
+        behavior=ChargingBehaviorModel(
+            base_config.charging, factory, strata_scales=strata_scales
+        ),
         outage=outage,
         feeders=_build_feeders(spec.grid, per_hub, n_hubs, horizon),
         n_hubs=n_hubs,
@@ -274,35 +364,43 @@ def _assemble_fleet(spec: ScenarioSpec) -> FleetAssembly:
     )
 
 
-def build(spec: ScenarioSpec) -> CompiledScenario:
-    """Compile a spec into scenarios + batched engine + scheduler."""
+def build(
+    spec: ScenarioSpec,
+    *,
+    discount: np.ndarray | None = None,
+    telemetry=None,
+) -> CompiledScenario:
+    """Compile a spec into scenarios + batched engine + scheduler.
+
+    ``discount`` injects an explicit per-hub (or broadcast 1-D) discount
+    schedule, bypassing the spec's ``pricing`` section; ``None`` compiles
+    the section instead — the zero-discount baseline when the policy is
+    ``"none"``, a trained policy's schedule otherwise. Either way the
+    latent strata, traces, outages, and feeders are identical; only the
+    occupancy/discount planes differ.
+    """
     assembly = _assemble_fleet(spec)
     run = spec.run
-    scenarios, horizon = assembly.scenarios, assembly.horizon
+    scenarios = assembly.scenarios
 
-    factory = RngFactory(seed=run.seed)
-    slots = np.arange(horizon)
-    no_discount = np.zeros(horizon, dtype=int)
-    occupied = np.stack(
-        [
-            resolve_occupancy(
-                assembly.behavior.sample_strata(
-                    scenario.site.hub_id,
-                    slots,
-                    factory.stream(f"fleet/occupancy/{scenario.site.hub_id}"),
-                ),
-                no_discount,
-            )
-            for scenario in scenarios
-        ]
-    )
+    pricing_compiled = None
+    if discount is None and spec.pricing.policy != "none":
+        # Local import: the pricing compiler pulls the causal/NCF stack,
+        # which plain (unpriced) builds must not load.
+        from .pricing import compile_pricing
+
+        pricing_compiled = compile_pricing(assembly, telemetry=telemetry)
+        discount = pricing_compiled.discount
+
+    discount_rows = assembly.discount_rows(discount)
+    occupied = assembly.realize_occupancy(discount_rows)
 
     from ..fleet.builder import fleet_simulation_from_scenarios
 
     simulation = fleet_simulation_from_scenarios(
         scenarios,
         occupied,
-        np.zeros(horizon),
+        discount_rows,
         outage=assembly.outage,
         initial_soc_fraction=run.initial_soc_fraction,
         feeders=assembly.feeders,
@@ -318,6 +416,7 @@ def build(spec: ScenarioSpec) -> CompiledScenario:
         scheduler=scheduler,
         n_hubs=assembly.n_hubs,
         days=assembly.days,
+        pricing=pricing_compiled,
     )
 
 
@@ -438,6 +537,70 @@ def spec_from_train_fleet_flags(
                 if eval_episodes is not None
                 else _scaled(5, scale, minimum=1)
             ),
+        ),
+    )
+
+
+def spec_from_price_flags(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    n_hubs: int | None = None,
+    days: int | None = None,
+    train_days: int | None = None,
+    epochs: int | None = None,
+    discount_level: float | None = None,
+    feeder_aware: bool = False,
+    n_feeders: int = 1,
+    feeder_capacity_kw: float | None = None,
+) -> ScenarioSpec:
+    """One spec per ``ect-hub price`` invocation (Table III at city scale).
+
+    Resolves the scale-dependent defaults (100 hubs x 7 days, a 30-day
+    training log at scale 1) into explicit spec values — the same shim
+    pattern as :func:`spec_from_fleet_flags`, so a serialized price spec
+    replays the exact run the flags meant. The base policy is ``"ours"``
+    (ECT-Price); :func:`repro.api.run_pricing` sweeps ``pricing.policy``
+    over the compared methods on top of this base.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    return ScenarioSpec(
+        name="price",
+        description="flag-built fleet pricing scenario",
+        fleet=FleetSpec(
+            n_hubs=(
+                n_hubs
+                if n_hubs is not None
+                else _scaled(DEFAULT_PRICE_HUBS, scale, minimum=2)
+            )
+        ),
+        grid=GridSpec(
+            n_feeders=n_feeders,
+            feeder_capacity_kw=feeder_capacity_kw,
+        ),
+        run=RunSpec(
+            days=(
+                days
+                if days is not None
+                else _scaled(DEFAULT_PRICE_DAYS, scale, minimum=2)
+            ),
+            seed=seed,
+        ),
+        pricing=PricingSpec(
+            policy="ours",
+            train_days=(
+                train_days
+                if train_days is not None
+                else _scaled(DEFAULT_PRICE_TRAIN_DAYS, scale, minimum=7)
+            ),
+            epochs=(
+                epochs if epochs is not None else _scaled(30, scale, minimum=2)
+            ),
+            discount_level=(
+                discount_level if discount_level is not None else 0.2
+            ),
+            feeder_aware=feeder_aware,
         ),
     )
 

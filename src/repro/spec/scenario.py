@@ -56,6 +56,12 @@ class HubGroupSpec:
     multiplies capacity and charge/discharge rates of the default battery
     instead — the two are mutually exclusive. ``feeder`` pins the group to
     one feeder id, overriding the round-robin assignment.
+
+    ``incentive_scale`` / ``always_scale`` multiply the group's latent
+    charging-strata probabilities (price-sensitive / habitual demand) on
+    top of each station's drawn personality — the per-group knob the
+    pricing loop uses to build fleets with heterogeneous discount
+    responsiveness. ``None`` keeps the generated profile untouched.
     """
 
     count: int = 1
@@ -68,6 +74,8 @@ class HubGroupSpec:
     battery_scale: float | None = None
     c_bp_per_slot: float | None = None
     feeder: int | None = None
+    incentive_scale: float | None = None
+    always_scale: float | None = None
 
     def __post_init__(self) -> None:
         if self.count <= 0:
@@ -104,6 +112,12 @@ class HubGroupSpec:
             raise ConfigError(
                 f"group feeder must be non-negative, got {self.feeder}"
             )
+        for name in ("incentive_scale", "always_scale"):
+            value = getattr(self, name)
+            if value is not None and (not math.isfinite(value) or value <= 0):
+                raise ConfigError(
+                    f"group {name} must be finite and positive, got {value}"
+                )
 
 
 @dataclass(frozen=True)
@@ -288,6 +302,88 @@ class BlackoutSpec:
             )
 
 
+#: Discount policies the pricing section may name. ``none`` keeps the
+#: zero-discount baseline; ``ours`` is ECT-Price (CF-MTL); ``oracle`` is
+#: the clairvoyant upper bound; ``evening`` is the operators' heuristic
+#: (discount 18:00–24:00, the logging policy's rule); ``or``/``ips``/``dr``
+#: are the uplift baselines.
+PRICING_POLICIES = ("none", "ours", "oracle", "evening", "or", "ips", "dr")
+
+
+@dataclass(frozen=True)
+class PricingSpec:
+    """The ECT-Price section: which discount policy prices the fleet.
+
+    Compiled by :func:`~repro.spec.pricing.compile_pricing` into a per-hub
+    ``(n_hubs, horizon)`` discount schedule: a policy is trained on a
+    simulated historical charging log (``train_days`` days, run-scaled),
+    each hub's slots are scored, and the top ``budget_fraction`` of slots
+    with positive expected reward receive ``discount_level`` — the
+    Table II/III protocol at fleet scale. The schedule re-realises
+    charging occupancy (incentive strata respond to the discount) and
+    discounts the charging price plane, so Eq. 12 profit sees both sides
+    of the trade.
+
+    ``feeder_aware=True`` closes the pricing↔congestion loop: the
+    zero-discount baseline's :meth:`~repro.fleet.grid.FeederGroup.
+    available_import_kw` headroom becomes a per-(hub, slot) congestion
+    penalty (weighted by ``congestion_weight``) subtracted from every
+    policy's score, steering discounts away from slots where the feeder
+    could not serve the extra charging load anyway. With unlimited
+    feeders the penalty is identically zero.
+    """
+
+    policy: str = "none"
+    discount_level: float = 0.2
+    budget_fraction: float = 0.195
+    train_days: int = 60
+    epochs: int = 30
+    batch_size: int = 128
+    learning_rate: float = 0.01
+    always_avoidance_threshold: float = 0.5
+    feeder_aware: bool = False
+    congestion_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in PRICING_POLICIES:
+            raise ConfigError(
+                f"unknown pricing policy {self.policy!r}; "
+                f"available: {', '.join(PRICING_POLICIES)}"
+            )
+        if not 0.0 <= self.discount_level < 1.0:
+            raise ConfigError(
+                f"pricing discount_level must be in [0, 1), got "
+                f"{self.discount_level}"
+            )
+        if not 0.0 < self.budget_fraction <= 1.0:
+            raise ConfigError(
+                f"pricing budget_fraction must be in (0, 1], got "
+                f"{self.budget_fraction}"
+            )
+        for name in ("train_days", "epochs", "batch_size"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(
+                    f"pricing {name} must be positive, got {getattr(self, name)}"
+                )
+        if not (
+            math.isfinite(self.learning_rate) and self.learning_rate > 0
+        ):
+            raise ConfigError(
+                f"pricing learning_rate must be positive, got "
+                f"{self.learning_rate}"
+            )
+        if not 0.0 < self.always_avoidance_threshold <= 1.0:
+            raise ConfigError(
+                f"pricing always_avoidance_threshold must be in (0, 1], got "
+                f"{self.always_avoidance_threshold}"
+            )
+        if not math.isfinite(self.congestion_weight) or self.congestion_weight < 0:
+            raise ConfigError(
+                f"pricing congestion_weight must be finite and non-negative, "
+                f"got {self.congestion_weight}"
+            )
+
+
 @dataclass(frozen=True)
 class RlSpec:
     """The ECT-DRL training section: environment shape + PPO knobs.
@@ -411,6 +507,7 @@ class ScenarioSpec:
     blackout: BlackoutSpec = field(default_factory=BlackoutSpec)
     run: RunSpec = field(default_factory=RunSpec)
     rl: RlSpec = field(default_factory=RlSpec)
+    pricing: PricingSpec = field(default_factory=PricingSpec)
 
     def __post_init__(self) -> None:
         if not self.name:

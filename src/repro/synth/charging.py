@@ -226,13 +226,36 @@ class ChargingBehaviorModel:
         rng_factory: RngFactory | None = None,
         *,
         calendar: SlotCalendar | None = None,
+        strata_scales: np.ndarray | None = None,
     ) -> None:
         self.config = config or ChargingConfig()
         self._factory = rng_factory or RngFactory(seed=0)
         self.calendar = calendar or SlotCalendar()
+        self._strata_scales = self._validate_strata_scales(strata_scales)
         self._profiles = self._build_profiles()
         self._cell_types = self._build_cell_types()
         self._cell_activity = self._build_cell_activity()
+
+    def _validate_strata_scales(
+        self, scales: np.ndarray | None
+    ) -> np.ndarray | None:
+        """``(n_stations, 2)`` [incentive, always] multipliers, or ``None``.
+
+        The multipliers reshape each station's cell-type *probabilities*
+        only — the rng draw counts are fixed per station, so scaling one
+        station never shifts another station's cell-type draws.
+        """
+        if scales is None:
+            return None
+        scales = np.asarray(scales, dtype=float)
+        if scales.shape != (self.config.n_stations, 2):
+            raise ConfigError(
+                f"strata_scales must have shape ({self.config.n_stations}, 2),"
+                f" got {scales.shape}"
+            )
+        if not np.isfinite(scales).all() or (scales <= 0).any():
+            raise ConfigError("strata_scales entries must be finite and positive")
+        return scales
 
     # ------------------------------------------------------------------ #
     # Station personalities                                               #
@@ -276,16 +299,23 @@ class ChargingBehaviorModel:
         profile = self._profile_for(station_id)
         cfg = self.config
         hours = np.asarray(hours_of_day, dtype=float)
+        extra_inc, extra_alw = (
+            (1.0, 1.0)
+            if self._strata_scales is None
+            else self._strata_scales[station_id]
+        )
 
         p_alw = (
             _circular_interp(hours, cfg.always_anchors)
             * profile.always_scale
+            * extra_alw
             * profile.demand_scale
             / cfg.cell_activity
         )
         p_inc = (
             _circular_interp(hours, cfg.incentive_anchors)
             * profile.incentive_scale
+            * extra_inc
             * profile.demand_scale
             / cfg.cell_activity
         )

@@ -10,6 +10,7 @@ from repro.causal import (
     EctPriceConfig,
     EctPriceModel,
     EctPricePolicy,
+    EveningHeuristicPolicy,
     NcfConfig,
     NcfRegressor,
     OraclePolicy,
@@ -23,8 +24,10 @@ from repro.causal import (
     pretrain_rating_model,
     render_table,
     score_decision,
+    time_ids_for_slots,
     train_test_split_by_day,
 )
+from repro.causal.baselines import PROPENSITY_CLIP
 from repro.causal.policy import expected_discount_reward, select_with_budget
 from repro.errors import ConfigError, DataError, NotFittedError
 from repro.rng import RngFactory
@@ -325,3 +328,177 @@ class TestStrataLabels:
         assert label_agreement(np.array([1, 2]), np.array([1, 0])) == 0.5
         with pytest.raises(DataError):
             label_agreement(np.array([1]), np.array([1, 2]))
+
+
+class TestDatasetEdgeCases:
+    """Day-split boundaries and strata availability on degenerate logs."""
+
+    def test_single_day_log_cannot_split(self):
+        model = ChargingBehaviorModel(ChargingConfig(), RngFactory(seed=3))
+        log = model.simulate_log(1)
+        assert len(log) > 0
+        # Every boundary leaves one side empty on a one-day log.
+        for boundary in (0, 1):
+            with pytest.raises(DataError):
+                train_test_split_by_day(
+                    log, n_stations=12, boundary_day=boundary
+                )
+        # But it still makes a perfectly valid (unsplit) dataset.
+        ds = dataset_from_log(log, n_stations=12)
+        assert len(ds) == len(log)
+        assert ds.time_ids.max() < ds.n_time_ids
+
+    def test_empty_log_has_no_ground_truth(self):
+        model = ChargingBehaviorModel(ChargingConfig(), RngFactory(seed=3))
+        ds = dataset_from_log(model.simulate_log(0), n_stations=12)
+        assert len(ds) == 0
+        assert not ds.has_ground_truth
+        with pytest.raises(DataError):
+            ground_truth_labels(ds)
+
+    def test_unknown_strata_have_no_ground_truth(self):
+        ds = PricingDataset(
+            station_ids=np.array([0, 1]),
+            time_ids=np.array([0, 1]),
+            treated=np.array([0, 1]),
+            charged=np.array([0, 1]),
+            stratum=np.array([-1, -1]),
+            n_stations=2,
+            n_time_ids=24,
+        )
+        assert not ds.has_ground_truth
+        with pytest.raises(DataError):
+            ground_truth_labels(ds)
+
+
+class TestPropensityClip:
+    """IPS/DR stay finite when the logged treatment is near-deterministic."""
+
+    @staticmethod
+    def deterministic_treatment_dataset() -> PricingDataset:
+        # Treatment is a function of the time id: the raw propensity
+        # estimate saturates at 0 or 1 in every cell, so only the clip
+        # keeps the inverse weights bounded.
+        rng = np.random.default_rng(9)
+        n = 2000
+        times = rng.integers(0, 8, n)
+        treated = (times < 4).astype(int)
+        charged = rng.integers(0, 2, n)
+        return PricingDataset(
+            station_ids=rng.integers(0, 3, n),
+            time_ids=times,
+            treated=treated,
+            charged=charged,
+            stratum=np.zeros(n, dtype=int),
+            n_stations=3,
+            n_time_ids=8,
+        )
+
+    def test_clip_band(self):
+        low, high = PROPENSITY_CLIP
+        assert 0.0 < low < high < 1.0
+
+    @pytest.mark.parametrize("name", ["IPS", "DR"])
+    def test_deterministic_propensity_stays_finite(self, name, factory):
+        ds = self.deterministic_treatment_dataset()
+        model = make_baseline(
+            name, 3, 8, NcfConfig(epochs=2, batch_size=256), factory.stream(name)
+        )
+        model.fit(ds)
+        prediction = model.predict(ds.station_ids, ds.time_ids)
+        assert np.all(np.isfinite(prediction.uplift))
+        # The clip bounds the transformed training targets by 1/low; the
+        # fitted effect head tracks them, so predictions stay in that
+        # ballpark instead of diverging with the raw inverse weights.
+        assert np.abs(prediction.uplift).max() <= 2.0 / PROPENSITY_CLIP[0]
+
+
+class TestOracleAgainstGroundTruth:
+    def test_oracle_decisions_are_the_incentive_stratum(self, small_split):
+        train, _ = small_split
+        labels = ground_truth_labels(train)
+        policy = OraclePolicy(labels)
+        decision = policy.decide(
+            train.station_ids, train.time_ids, discount_level=0.2
+        )
+        expected = labels == int(Stratum.INCENTIVE)
+        assert np.array_equal(decision.discounted, expected)
+        assert label_agreement(
+            np.where(decision.discounted, int(Stratum.INCENTIVE), labels),
+            labels,
+        ) == 1.0
+
+
+class TestEveningHeuristic:
+    def test_discounts_exactly_the_evening_hours(self):
+        policy = EveningHeuristicPolicy()
+        time_ids = np.arange(48)  # hour x weekend crossing
+        decision = policy.decide(
+            np.zeros(48, dtype=int), time_ids, discount_level=0.2
+        )
+        hours = time_ids % 24
+        assert np.array_equal(decision.discounted, (hours >= 18) & (hours < 24))
+
+    def test_custom_window(self):
+        policy = EveningHeuristicPolicy(evening_hours=(6, 9))
+        probs = policy.incentive_probability(
+            np.zeros(24, dtype=int), np.arange(24)
+        )
+        assert probs.sum() == 3.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigError):
+            EveningHeuristicPolicy(evening_hours=(20, 20))
+        with pytest.raises(ConfigError):
+            EveningHeuristicPolicy(evening_hours=(-1, 5))
+
+
+class TestScoreOffset:
+    def test_offset_vetoes_selected_slots(self):
+        strata = np.array([1, 1, 0, 2])
+        policy = OraclePolicy(strata)
+        offset = np.array([10.0, 0.0, 0.0, 0.0])
+        decision = policy.decide(
+            np.zeros(4, dtype=int),
+            np.zeros(4, dtype=int),
+            discount_level=0.2,
+            score_offset=offset,
+        )
+        assert decision.discounted.tolist() == [False, True, False, False]
+
+    def test_zero_offset_is_identity(self):
+        strata = np.array([1, 0, 1])
+        policy = OraclePolicy(strata)
+        plain = policy.decide(
+            np.zeros(3, dtype=int), np.zeros(3, dtype=int), discount_level=0.2
+        )
+        offset = policy.decide(
+            np.zeros(3, dtype=int),
+            np.zeros(3, dtype=int),
+            discount_level=0.2,
+            score_offset=np.zeros(3),
+        )
+        assert np.array_equal(plain.discounted, offset.discounted)
+
+    def test_shape_mismatch_rejected(self):
+        policy = OraclePolicy(np.array([1, 0]))
+        with pytest.raises(ConfigError):
+            policy.decide(
+                np.zeros(2, dtype=int),
+                np.zeros(2, dtype=int),
+                score_offset=np.zeros(3),
+            )
+
+
+class TestTimeIdsForSlots:
+    def test_matches_the_log_crossing(self):
+        model = ChargingBehaviorModel(ChargingConfig(), RngFactory(seed=5))
+        log = model.simulate_log(9)  # spans a weekend
+        ds = dataset_from_log(log, n_stations=12)
+        by_slot = time_ids_for_slots(9 * 24, calendar=model.calendar)
+        assert np.array_equal(by_slot[log.slot], ds.time_ids)
+
+    def test_without_weekend_flag(self):
+        ids = time_ids_for_slots(48, use_weekend_flag=False)
+        assert ids.max() < 24
+        assert np.array_equal(ids, np.arange(48) % 24)

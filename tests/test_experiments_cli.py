@@ -25,6 +25,7 @@ ALL_IDS = {
     "abl-loss",
     "fleet",
     "fleet-grid",
+    "fleet-price",
     "train-fleet",
 }
 
