@@ -1,7 +1,10 @@
 """Benchmark: process-parallel sweep executor vs the serial loop.
 
 Runs the same 8-job seed grid twice through ``api.run_sweep`` — serially
-and over a worker pool — and reports jobs/sec both ways. Two guards:
+and over a worker pool driving the PR-9 chunked executor (two jobs per
+worker task, so each submission amortises its IPC round-trip and the
+per-worker assembly cache gets consecutive hits) — and reports jobs/sec
+both ways. Two guards:
 
 * **equivalence** (always): the parallel results must be byte-identical
   to the serial ones, in the same order, down to the ``--out`` JSON; and
@@ -20,15 +23,19 @@ import time
 
 from conftest import perf_relaxed, write_perf_report
 from repro import api
+from repro.parallel import _available_cpus
 from repro.spec import SweepSpec
 from repro.spec.compiler import spec_from_fleet_flags
 
 N_JOBS = 8
 N_HUBS = 24
 POOL_SIZE = 4
+CHUNK_SIZE = 2
 
-MIN_SPEEDUP = 1.1
-MIN_SPEEDUP_RELAXED = 0.5
+# Tightened with the chunked executor: batching jobs per worker task
+# cut the IPC overhead the old floors priced in.
+MIN_SPEEDUP = 1.3
+MIN_SPEEDUP_RELAXED = 0.9
 
 
 def _sweep(scale: float) -> SweepSpec:
@@ -44,7 +51,7 @@ def _sweep(scale: float) -> SweepSpec:
 def test_bench_parallel_sweep():
     scale = float(os.environ.get("ECT_BENCH_SCALE", 1.0))
     sweep = _sweep(scale)
-    cores = os.cpu_count() or 1
+    cores = _available_cpus()
     # Always run the real pool (even single-core hosts must produce
     # byte-identical results through it); only the speedup guard needs
     # genuine parallel hardware.
@@ -55,7 +62,7 @@ def test_bench_parallel_sweep():
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    parallel = api.run_sweep(sweep, jobs=workers)
+    parallel = api.run_sweep(sweep, jobs=workers, chunk_size=CHUNK_SIZE)
     parallel_s = time.perf_counter() - start
 
     speedup = serial_s / parallel_s
@@ -71,8 +78,8 @@ def test_bench_parallel_sweep():
         [
             "== parallel-sweep: worker pool vs serial sweep ==",
             f"workload: {N_JOBS} jobs x {N_HUBS} hubs x "
-            f"{sweep.base.run.days} days, {workers} workers "
-            f"({cores} cores visible)",
+            f"{sweep.base.run.days} days, {workers} workers, "
+            f"chunks of {CHUNK_SIZE} ({cores} cores visible)",
             f"serial    {N_JOBS / serial_s:>8.2f} jobs/sec  ({serial_s:.3f}s)",
             f"parallel  {N_JOBS / parallel_s:>8.2f} jobs/sec  ({parallel_s:.3f}s)",
             f"speedup   {speedup:>8.2f}x  (guard: {guard})",
@@ -88,6 +95,7 @@ def test_bench_parallel_sweep():
                 "n_hubs": N_HUBS,
                 "days": sweep.base.run.days,
                 "workers": workers,
+                "chunk_size": CHUNK_SIZE,
                 "cores": cores,
             },
             "serial_jobs_per_sec": N_JOBS / serial_s,

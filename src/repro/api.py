@@ -70,7 +70,11 @@ def build(spec: ScenarioSpec | str) -> CompiledScenario:
 
 
 def run(
-    spec: ScenarioSpec | str, *, telemetry: Telemetry | None = None
+    spec: ScenarioSpec | str,
+    *,
+    telemetry: Telemetry | None = None,
+    shards: int | None = None,
+    assembly=None,
 ) -> ExperimentResult:
     """Compile and run a scenario, reporting per-hub + network economics.
 
@@ -78,14 +82,29 @@ def run(
     traced, the engine books live counters, and the RunTelemetry record
     lands on ``result.telemetry`` — the booked economics are identical
     either way (the reset the traced path adds is idempotent).
+
+    ``shards`` overrides the spec's ``run.shards`` knob *as an argument*
+    (the spec embedded in ``data["spec"]`` is untouched, so sharded and
+    unsharded ``--out`` exports stay byte-identical). ``shards > 1``
+    partitions the fleet feeder-aware (:mod:`repro.fleet.sharding`) and
+    compiles + steps each shard in a worker process; everything in
+    ``data`` is byte-identical to the unsharded run by construction
+    (test-enforced). ``assembly`` reuses a cached
+    :class:`~repro.spec.compiler.FleetAssembly` on the unsharded path —
+    the sweep workers' seam.
     """
     resolved = resolve_spec(spec)
+    n_shards = resolved.run.shards if shards is None else int(shards)
+    if n_shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {n_shards}")
+    if n_shards > 1:
+        return _run_sharded(resolved, n_shards, telemetry=telemetry)
     if telemetry is None:
-        compiled = _compile(resolved)
+        compiled = _compile(resolved, assembly=assembly)
         simulation = compiled.simulation
     else:
         with telemetry.span("compile", scenario=resolved.name):
-            compiled = _compile(resolved, telemetry=telemetry)
+            compiled = _compile(resolved, telemetry=telemetry, assembly=assembly)
         simulation = compiled.simulation
         simulation.attach_telemetry(telemetry)
         with telemetry.span("reset"):
@@ -106,23 +125,163 @@ def run(
         with telemetry.span("step", slots=simulation.horizon):
             book = compiled.execute()
     elapsed = time.perf_counter() - start
-    hub_slots = n_hubs * simulation.horizon
+
+    return _fleet_result(
+        resolved,
+        book,
+        n_hubs=n_hubs,
+        days=days,
+        horizon=simulation.horizon,
+        scheduler_name=compiled.scheduler.name,
+        kinds=[s.site.kind for s in compiled.scenarios],
+        hub_ids=[s.site.hub_id for s in compiled.scenarios],
+        pricing=compiled.pricing,
+        elapsed=elapsed,
+        telemetry=telemetry,
+    )
+
+
+def _run_sharded(
+    resolved: ScenarioSpec, n_shards: int, *, telemetry: Telemetry | None = None
+) -> ExperimentResult:
+    """The city-scale path: shard the fleet, step shards in processes.
+
+    Workers re-derive their hubs from the spec JSON (name-keyed streams
+    make that bit-identical to the unsharded assembly — see
+    :mod:`repro.fleet.sharding`), so the parent only pays site-catalog
+    and planning cost. Pricing runs are the exception: the discount
+    plane couples all hubs through the training log, so the parent
+    compiles pricing over the full assembly once and ships each shard
+    its pre-sliced discount rows; the shards then bypass their own
+    ``pricing`` section via the explicit schedule.
+    """
+    from .fleet.costs import FleetCostBook
+    from .fleet.sharding import ShardTask, plan_shards
+    from .parallel import _available_cpus, run_shards_parallel
+    from .spec.compiler import _assemble_fleet, assemble_sites
+
+    sites, _, feeders, n_hubs, days, horizon = assemble_sites(resolved)
+    windowed = resolved.run.storage == "windowed"
+
+    pricing_compiled = None
+    discount_rows = None
+    if resolved.pricing.policy != "none":
+        from .spec.pricing import compile_pricing
+
+        if telemetry is None:
+            assembly = _assemble_fleet(resolved)
+            pricing_compiled = compile_pricing(assembly)
+        else:
+            with telemetry.span("compile", scenario=resolved.name):
+                assembly = _assemble_fleet(resolved)
+                pricing_compiled = compile_pricing(assembly, telemetry=telemetry)
+        discount_rows = assembly.discount_rows(pricing_compiled.discount)
+
+    # Windowed books can only merge feeder-closed shards, so unlimited
+    # feeders stay atomic there (single-feeder specs degenerate to one
+    # shard — documented in README#performance).
+    plan = plan_shards(feeders, n_shards, split_unlimited=not windowed)
+    spec_json = resolved.to_json()
+    tasks = [
+        ShardTask(
+            spec_json=spec_json,
+            hub_indices=idx,
+            shard_index=index,
+            discount_rows=None if discount_rows is None else discount_rows[idx],
+            with_telemetry=telemetry is not None,
+        )
+        for index, idx in enumerate(plan)
+    ]
+    workers = min(len(tasks), _available_cpus())
+    log.debug(
+        "sharded scenario",
+        scenario=resolved.name,
+        n_hubs=n_hubs,
+        shards=len(tasks),
+        workers=workers,
+    )
+
+    start = time.perf_counter()
+    shard_results = run_shards_parallel(tasks, workers)
+    elapsed = time.perf_counter() - start
+
+    def merge() -> FleetCostBook:
+        return FleetCostBook.merge_shards(
+            [r.book for r in shard_results],
+            [r.hub_indices for r in shard_results],
+            feeders=feeders,
+            voll_per_kwh=resolved.run.voll_per_kwh,
+        )
+
+    if telemetry is None:
+        book = merge()
+    else:
+        with telemetry.span("shard-merge", shards=len(tasks)):
+            book = merge()
+        telemetry.set_workers(workers)
+        # Absorb in shard order so counters stay byte-identical run to
+        # run whatever the completion order was.
+        for shard in shard_results:
+            telemetry.absorb(shard.telemetry, label="shard", index=shard.shard_index)
+
+    return _fleet_result(
+        resolved,
+        book,
+        n_hubs=n_hubs,
+        days=days,
+        horizon=horizon,
+        scheduler_name=resolved.scheduler.name,
+        kinds=[site.kind for site in sites],
+        hub_ids=[site.hub_id for site in sites],
+        pricing=pricing_compiled,
+        elapsed=elapsed,
+        telemetry=telemetry,
+        shard_note=(
+            f"sharded over {len(tasks)} shards ({workers} workers), "
+            f"storage={resolved.run.storage}"
+        ),
+    )
+
+
+def _fleet_result(
+    resolved: ScenarioSpec,
+    book,
+    *,
+    n_hubs: int,
+    days: int,
+    horizon: int,
+    scheduler_name: str,
+    kinds: list[str],
+    hub_ids: list[int],
+    pricing,
+    elapsed: float,
+    telemetry: Telemetry | None,
+    shard_note: str | None = None,
+) -> ExperimentResult:
+    """The shared report tail: one completed book → ExperimentResult.
+
+    Both the unsharded and sharded paths end here, which is what makes
+    "sharded exports are byte-identical" a structural property: the
+    entire ``data`` payload is computed from the (merged) book plus the
+    spec. Wall-clock throughput and the shard note live in ``lines``
+    only — the ``--out`` JSON must stay deterministic and diffable.
+    """
+    hub_slots = n_hubs * horizon
     throughput = hub_slots / elapsed if elapsed > 0 else float("inf")
 
     profit = book.profit_per_hub
     daily = book.daily_rewards()
-    blackout_slots = int(book.blackout.sum())
+    blackout_slots = book.blackout_hub_slots
     coupled = resolved.grid.feeder_capacity_kw is not None
     voll = resolved.run.voll_per_kwh
+    feeders = book.feeders
 
-    # Wall-clock throughput stays out of `data`: the --out JSON must be
-    # deterministic so runs can be diffed across PRs (it is printed below).
     data = {
         "scenario": resolved.name,
         "spec": resolved.to_dict(),
         "n_hubs": n_hubs,
         "days": days,
-        "scheduler": compiled.scheduler.name,
+        "scheduler": scheduler_name,
         "network_profit": book.profit,
         "network_operating_cost": book.operating_cost,
         "network_charging_revenue": book.charging_revenue,
@@ -131,18 +290,17 @@ def run(
         "blackout_slots": blackout_slots,
         "profit_per_hub": profit,
         "avg_daily_reward_per_hub": daily.mean(axis=1),
-        "kinds": [s.site.kind for s in compiled.scenarios],
+        "kinds": kinds,
         # Shared-grid coupling (zeros / infinities when uncoupled).
-        "n_feeders": simulation.feeders.n_feeders,
+        "n_feeders": feeders.n_feeders,
         "feeder_capacity_kw": resolved.grid.feeder_capacity_kw,
-        "allocation": simulation.feeders.policy,
+        "allocation": feeders.policy,
         "import_shortfall_kwh": book.total_import_shortfall_kwh,
         "congested_feeder_slots": book.congested_feeder_slots,
         "feeder_import_kwh": book.feeder_import_kwh,
         "feeder_shortfall_kwh": book.feeder_shortfall_kwh,
         "feeder_peak_import_kw": book.feeder_peak_import_kw,
     }
-    pricing = compiled.pricing
     if pricing is not None:
         # Deterministic pricing provenance: how the discount plane was
         # built (training size, selection counts, congestion shaping).
@@ -155,10 +313,14 @@ def run(
 
     lines = [
         f"fleet of {n_hubs} hubs x {days} days, "
-        f"scheduler={compiled.scheduler.name}"
+        f"scheduler={scheduler_name}"
         + (f", scenario={resolved.name}" if resolved.name != "fleet" else ""),
         f"batched throughput {throughput:,.0f} hub-slots/sec "
         f"({hub_slots} hub-slots in {elapsed:.3f}s)",
+    ]
+    if shard_note is not None:
+        lines.append(shard_note)
+    lines += [
         f"network profit ${book.profit:,.0f}  (revenue ${book.charging_revenue:,.0f}"
         f" - operating ${book.operating_cost:,.0f}"
         + (f" - lost-load ${book.voll_cost:,.0f}" if voll > 0 else "")
@@ -170,7 +332,7 @@ def run(
         f"max {daily.mean(axis=1).max():.1f}",
     ]
     if pricing is not None:
-        share = pricing.discounted_hub_slots / max(n_hubs * simulation.horizon, 1)
+        share = pricing.discounted_hub_slots / max(n_hubs * horizon, 1)
         lines.append(
             f"pricing {pricing.policy}: {pricing.discounted_hub_slots} "
             f"discounted hub-slots ({100 * share:.1f}%) at level "
@@ -181,16 +343,15 @@ def run(
         capacity = resolved.grid.feeder_capacity_kw
         profile = " (profiled)" if resolved.grid.capacity_profile else ""
         lines.append(
-            f"shared grid: {simulation.feeders.n_feeders} feeders x "
-            f"{capacity:,.0f} kW{profile} ({simulation.feeders.policy}); "
+            f"shared grid: {feeders.n_feeders} feeders x "
+            f"{capacity:,.0f} kW{profile} ({feeders.policy}); "
             f"curtailed {book.total_import_shortfall_kwh:,.1f} kWh over "
             f"{book.congested_feeder_slots} congested feeder-slots"
         )
     show = min(n_hubs, 12)
     for i in range(show):
-        scenario = compiled.scenarios[i]
         lines.append(
-            f"  hub {scenario.site.hub_id:>3} ({scenario.site.kind:<5}) "
+            f"  hub {hub_ids[i]:>3} ({kinds[i]:<5}) "
             f"profit ${profit[i]:>10,.1f}  avg daily {daily[i].mean():>7.1f}"
         )
     if n_hubs > show:
@@ -370,6 +531,7 @@ def run_sweep(
     sweep: SweepSpec,
     *,
     jobs: int | None = None,
+    chunk_size: int | None = None,
     telemetry: Telemetry | None = None,
 ) -> list[ExperimentResult]:
     """Run every job of a sweep grid; each result carries its overrides.
@@ -382,9 +544,13 @@ def run_sweep(
     ``jobs`` selects the executor: ``None`` or ``1`` runs the grid
     serially in-process (the default, byte-identical to always),
     ``N > 1`` fans the jobs out over ``N`` worker processes
-    (:mod:`repro.parallel`), and ``0`` means one worker per CPU core.
-    Parallel results are re-ordered by job index and tagged identically,
-    so serial and parallel sweeps produce byte-identical exports.
+    (:mod:`repro.parallel`), and ``0`` means one worker per available
+    CPU (the affinity set where the platform reports one). Parallel
+    results are re-ordered by job index and tagged identically, so
+    serial and parallel sweeps produce byte-identical exports.
+    ``chunk_size`` sets how many jobs ride in one worker task (default:
+    ~4 chunks per worker) — bigger chunks amortise submit overhead and
+    let the per-worker assembly cache hit across same-fleet jobs.
 
     With a ``telemetry`` session, each job runs under its own
     job-local session (in-process for serial, in-worker for parallel —
@@ -403,7 +569,10 @@ def run_sweep(
     )
     if n_workers > 1 and len(expanded) > 1:
         results = run_jobs_parallel(
-            expanded, n_workers, with_telemetry=telemetry is not None
+            expanded,
+            n_workers,
+            with_telemetry=telemetry is not None,
+            chunk_size=chunk_size,
         )
         if telemetry is not None:
             telemetry.set_workers(n_workers)
@@ -437,6 +606,7 @@ def run_pricing(
     *,
     methods: tuple[str, ...] | list[str] | None = None,
     jobs: int | None = None,
+    chunk_size: int | None = None,
     telemetry: Telemetry | None = None,
 ) -> ExperimentResult:
     """Compare discount policies over one fleet — Table III at city scale.
@@ -471,7 +641,9 @@ def run_pricing(
         parameters={"pricing.policy": methods},
         name=f"{resolved.name}-pricing",
     )
-    results = run_sweep(sweep, jobs=jobs, telemetry=telemetry)
+    results = run_sweep(
+        sweep, jobs=jobs, chunk_size=chunk_size, telemetry=telemetry
+    )
 
     table: dict[str, dict[str, object]] = {}
     for name, method_result in zip(methods, results):

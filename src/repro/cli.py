@@ -9,6 +9,7 @@ Usage::
     ect-hub fleet --n-hubs 200 [--days 14] [--scheduler rule-based]
     ect-hub fleet --preset congested-city --set run.days=3
     ect-hub fleet --spec scenario.json --out results.json
+    ect-hub fleet --preset congested-city --shards 8 --storage windowed
 
     ect-hub train-fleet --n-hubs 12 --episodes 100
     ect-hub train-fleet --preset congested-city --set rl.train_episodes=50
@@ -179,6 +180,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="contention policy when a feeder limit binds",
     )
+    fleet_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the fleet feeder-aware and step shards in worker "
+        "processes (byte-identical results; default: the spec's run.shards)",
+    )
+    fleet_p.add_argument(
+        "--storage",
+        choices=("dense", "windowed"),
+        default=None,
+        help="cost-book layout: 'windowed' folds slots into running "
+        "aggregates so memory stops scaling with the horizon "
+        "(sugar for --set run.storage=...)",
+    )
     fleet_p.add_argument("--scale", type=float, default=None)
     fleet_p.add_argument("--seed", type=int, default=None)
     fleet_p.add_argument("--out", type=str, default=None, help="write data as JSON")
@@ -341,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (0 = all cores; default: serial, "
         "byte-identical results either way)",
+    )
+    sweep_p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="jobs per worker task (default: ~4 chunks per worker; bigger "
+        "chunks amortise submit overhead and assembly recompiles)",
     )
     sweep_p.add_argument("--out", type=str, default=None, help="write data as JSON")
     return parser
@@ -593,7 +616,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "fleet":
         telemetry = _telemetry_session(args)
-        result = api.run(_fleet_spec(args), telemetry=telemetry)
+        spec = _fleet_spec(args)
+        if args.storage is not None:
+            spec = spec.with_overrides({"run.storage": args.storage})
+        # --shards stays an api.run *argument* (not a spec override) so
+        # the exported data["spec"] — and therefore the whole --out
+        # payload — is byte-identical whatever the shard count.
+        result = api.run(spec, telemetry=telemetry, shards=args.shards)
         log.info(result.rendered())
         _emit_telemetry(telemetry, args)
         if args.out:
@@ -636,7 +665,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         sweep = _sweep_spec(args)
         jobs = sweep.jobs()
         log.info(f"sweep {sweep.name}: {len(jobs)} jobs over {sweep.base.name!r}")
-        results = api.run_sweep(sweep, jobs=args.jobs, telemetry=telemetry)
+        results = api.run_sweep(
+            sweep,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            telemetry=telemetry,
+        )
         for job, result in zip(jobs, results):
             data = result.data
             label = job.label() or "(base)"

@@ -82,14 +82,24 @@ def fleet_simulation_from_scenarios(
     initial_soc_fraction: float | np.ndarray = 0.5,
     feeders: FeederGroup | None = None,
     voll_per_kwh: float = 0.0,
+    storage: str = "dense",
+    window: int | None = None,
 ) -> FleetSimulation:
-    """Convenience: params + inputs + engine in one call."""
+    """Convenience: params + inputs + engine in one call.
+
+    ``storage``/``window`` select the cost-book layout (see
+    :class:`~repro.fleet.costs.FleetCostBook`): ``"windowed"`` folds
+    slots into running aggregates over a bounded ring so book memory
+    stops scaling with the horizon.
+    """
     return FleetSimulation(
         fleet_params_from_scenarios(scenarios),
         fleet_inputs_from_scenarios(scenarios, occupied, discount, outage=outage),
         initial_soc_fraction=initial_soc_fraction,
         feeders=feeders,
         voll_per_kwh=voll_per_kwh,
+        storage=storage,
+        window=window,
     )
 
 

@@ -11,6 +11,26 @@ With shared-grid coupling the book also tracks the feeder dimension:
 ``import_shortfall_kw`` records each hub's curtailed import, and the
 per-feeder aggregates (imports, shortfalls, peaks, congested slots) roll
 hub columns up by the :class:`~repro.fleet.grid.FeederGroup` assignment.
+
+Storage modes
+-------------
+``storage="dense"`` (default) keeps every column at full
+``(n_hubs, horizon)`` resolution — memory grows with the horizon, but any
+slot can be inspected after the fact (``hub_book``, the per-feeder slot
+matrices). ``storage="windowed"`` keeps only a bounded ring of the most
+recent ``window`` slots and folds each committed slot into running
+aggregates (per-hub totals, the daily Eq. 12 matrix, per-feeder
+import/shortfall/peak/congestion, blackout counts), so memory stops
+scaling with the horizon — a 10k-hub × 1-year run fits in RAM. All
+aggregate properties work identically in both modes (the windowed fold
+accumulates in slot order; agreement with dense is equivalence-tested at
+atol 1e-9); full-column accessors raise :class:`FleetError` in windowed
+mode, and :meth:`recent` exposes the trailing window for trace-dependent
+consumers.
+
+City-scale sharding merges per-shard books back into one via
+:meth:`FleetCostBook.merge_shards` — a pure row/feeder scatter, so a
+merged dense book is byte-identical to the book an unsharded run writes.
 """
 
 from __future__ import annotations
@@ -20,6 +40,17 @@ import numpy as np
 from ..errors import FleetError
 from ..hub.costs import CostBook, SlotLedger
 from .grid import FeederGroup
+
+#: Supported per-slot storage layouts.
+STORAGE_MODES = ("dense", "windowed")
+
+#: Ring size when ``storage="windowed"`` and no window is given: one day
+#: of hourly slots, enough for every trailing-window consumer in-tree.
+DEFAULT_WINDOW = 24
+
+#: Day length used by the windowed daily-reward fold (the engine's hourly
+#: slot contract; ``daily_rewards`` accepts other values in dense mode only).
+_SLOTS_PER_DAY = 24
 
 
 class FleetCostBook:
@@ -50,6 +81,8 @@ class FleetCostBook:
         *,
         feeders: FeederGroup | None = None,
         voll_per_kwh: float = 0.0,
+        storage: str = "dense",
+        window: int | None = None,
     ) -> None:
         if n_hubs <= 0 or horizon < 0:
             raise FleetError(
@@ -58,6 +91,11 @@ class FleetCostBook:
         if voll_per_kwh < 0 or not np.isfinite(voll_per_kwh):
             raise FleetError(
                 f"voll_per_kwh must be finite and non-negative, got {voll_per_kwh}"
+            )
+        if storage not in STORAGE_MODES:
+            raise FleetError(
+                f"unknown book storage {storage!r}; "
+                f"available: {', '.join(STORAGE_MODES)}"
             )
         self.voll_per_kwh = float(voll_per_kwh)
         self.feeders = feeders or FeederGroup.unlimited(n_hubs)
@@ -68,11 +106,57 @@ class FleetCostBook:
             )
         self.n_hubs = n_hubs
         self.horizon = horizon
-        self.action = np.zeros((n_hubs, horizon), dtype=int)
-        self.blackout = np.zeros((n_hubs, horizon), dtype=bool)
-        for name in self._FLOAT_COLUMNS:
-            setattr(self, name, np.zeros((n_hubs, horizon)))
+        self.storage = storage
+        self._windowed = storage == "windowed"
+        if self._windowed:
+            if window is None:
+                window = DEFAULT_WINDOW
+            window = int(window)
+            if window <= 0:
+                raise FleetError(f"window must be positive, got {window}")
+            self.window: int | None = min(window, max(horizon, 1))
+            shape = (n_hubs, self.window)
+            self._ring: dict[str, np.ndarray] = {
+                "action": np.zeros(shape, dtype=int),
+                "blackout": np.zeros(shape, dtype=bool),
+            }
+            for name in self._FLOAT_COLUMNS:
+                self._ring[name] = np.zeros(shape)
+            self._init_accumulators()
+        else:
+            self.window = None
+            self.action = np.zeros((n_hubs, horizon), dtype=int)
+            self.blackout = np.zeros((n_hubs, horizon), dtype=bool)
+            for name in self._FLOAT_COLUMNS:
+                setattr(self, name, np.zeros((n_hubs, horizon)))
         self._n_recorded = 0
+
+    def _init_accumulators(self) -> None:
+        n, n_feeders = self.n_hubs, self.feeders.n_feeders
+        n_days = -(-self.horizon // _SLOTS_PER_DAY)
+        self._acc_op_cost = np.zeros(n)
+        self._acc_revenue = np.zeros(n)
+        self._acc_unserved = np.zeros(n)
+        self._acc_surplus = np.zeros(n)
+        self._acc_grid_energy = np.zeros(n)
+        self._acc_import_shortfall = np.zeros(n)
+        self._acc_daily = np.zeros((n, n_days))
+        self._acc_feeder_import = np.zeros(n_feeders)
+        self._acc_feeder_shortfall = np.zeros(n_feeders)
+        self._acc_feeder_peak = np.zeros(n_feeders)
+        self._congested_slots = 0
+        self._blackout_hub_slots = 0
+
+    def __getattr__(self, name: str):
+        # Normal lookup failed: in windowed mode the per-slot columns do
+        # not exist as attributes — explain instead of AttributeError.
+        if name in FleetCostBook._FLOAT_COLUMNS or name in ("action", "blackout"):
+            raise FleetError(
+                f"per-slot column {name!r} needs storage='dense'; the "
+                f"windowed book folds slots into running aggregates "
+                f"(use recent({name!r}) for the trailing window)"
+            )
+        raise AttributeError(name)
 
     def __len__(self) -> int:
         return self._n_recorded
@@ -82,12 +166,50 @@ class FleetCostBook:
         """Number of slots recorded so far."""
         return self._n_recorded
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the per-slot storage (plus windowed accumulators).
+
+        Deterministic by construction — the city-scale benchmark's memory
+        guard compares windowed vs dense footprints through this.
+        """
+        if self._windowed:
+            total = sum(column.nbytes for column in self._ring.values())
+            total += sum(
+                acc.nbytes
+                for acc in (
+                    self._acc_op_cost,
+                    self._acc_revenue,
+                    self._acc_unserved,
+                    self._acc_surplus,
+                    self._acc_grid_energy,
+                    self._acc_import_shortfall,
+                    self._acc_daily,
+                    self._acc_feeder_import,
+                    self._acc_feeder_shortfall,
+                    self._acc_feeder_peak,
+                )
+            )
+            return int(total)
+        total = self.action.nbytes + self.blackout.nbytes
+        total += sum(getattr(self, name).nbytes for name in self._FLOAT_COLUMNS)
+        return int(total)
+
     def record(self, t: int, **columns: np.ndarray) -> None:
         """Store one resolved slot (arrays of shape ``(n_hubs,)``)."""
-        self._check_slot(t)
+        dest = self.begin_slot(t)
+        if self._windowed:
+            # Dense columns start zeroed; the ring column may hold the
+            # evicted slot's stale values — clear for identical semantics.
+            for target in dest.values():
+                target[...] = 0
         for name, values in columns.items():
-            getattr(self, name)[:, t] = values
-        self._n_recorded += 1
+            try:
+                target = dest[name]
+            except KeyError:
+                raise FleetError(f"unknown fleet book column {name!r}") from None
+            target[:] = values
+        self.commit_slot(t)
 
     def _check_slot(self, t: int) -> None:
         if t != self._n_recorded:
@@ -106,8 +228,15 @@ class FleetCostBook:
         slot only becomes visible to the aggregates once
         :meth:`commit_slot` runs, so a step that raises mid-flight leaves
         the book's recorded range untouched.
+
+        Windowed books hand out views into the ring column ``t % window``
+        — the kernel must (re)write every column it cares about, because
+        the slot evicted from the ring leaves stale values behind.
         """
         self._check_slot(t)
+        if self._windowed:
+            slot = t % self.window
+            return {name: ring[:, slot] for name, ring in self._ring.items()}
         columns: dict[str, np.ndarray] = {
             "action": self.action[:, t],
             "blackout": self.blackout[:, t],
@@ -117,9 +246,87 @@ class FleetCostBook:
         return columns
 
     def commit_slot(self, t: int) -> None:
-        """Mark the slot handed out by :meth:`begin_slot` as recorded."""
+        """Mark the slot handed out by :meth:`begin_slot` as recorded.
+
+        In windowed storage this is where the slot is folded into the
+        running aggregates (always in slot order, so sharded and
+        unsharded windowed runs accumulate bit-identically per hub).
+        """
         self._check_slot(t)
+        if self._windowed:
+            self._fold_slot(t)
         self._n_recorded += 1
+
+    def _fold_slot(self, t: int) -> None:
+        ring, slot = self._ring, t % self.window
+        grid_cost = ring["grid_cost"][:, slot]
+        bp_cost = ring["bp_cost"][:, slot]
+        revenue = ring["revenue"][:, slot]
+        unserved = ring["unserved_kwh"][:, slot]
+        p_grid = ring["p_grid_kw"][:, slot]
+        shortfall = ring["import_shortfall_kw"][:, slot]
+        self._acc_op_cost += grid_cost
+        self._acc_op_cost += bp_cost
+        self._acc_revenue += revenue
+        self._acc_unserved += unserved
+        self._acc_surplus += ring["surplus_kw"][:, slot]
+        self._acc_grid_energy += p_grid
+        self._acc_import_shortfall += shortfall
+        self._acc_daily[:, t // _SLOTS_PER_DAY] += (
+            revenue - grid_cost - bp_cost - self.voll_per_kwh * unserved
+        )
+        assignment, n_feeders = self.feeders.assignment, self.feeders.n_feeders
+        feeder_import = np.bincount(
+            assignment, weights=p_grid, minlength=n_feeders
+        )
+        feeder_shortfall = np.bincount(
+            assignment, weights=shortfall, minlength=n_feeders
+        )
+        self._acc_feeder_import += feeder_import
+        self._acc_feeder_shortfall += feeder_shortfall
+        np.maximum(
+            self._acc_feeder_peak, feeder_import, out=self._acc_feeder_peak
+        )
+        # Shortfalls are non-negative, so a feeder sum is positive exactly
+        # when any member was curtailed — the count matches dense exactly.
+        self._congested_slots += int(np.count_nonzero(feeder_shortfall > 0.0))
+        self._blackout_hub_slots += int(
+            np.count_nonzero(ring["blackout"][:, slot])
+        )
+
+    def _require_dense(self, what: str) -> None:
+        if self._windowed:
+            raise FleetError(
+                f"{what} needs storage='dense'; the windowed book keeps "
+                f"only running aggregates plus a {self.window}-slot ring"
+            )
+
+    def recent(self, name: str, n: int | None = None) -> np.ndarray:
+        """The trailing ``n`` recorded slots of one column, oldest first.
+
+        Works in both storage modes; windowed books can serve at most
+        their ring size (``window``) and raise beyond it. Returns a fresh
+        ``(n_hubs, n)`` array.
+        """
+        if name not in self._FLOAT_COLUMNS and name not in ("action", "blackout"):
+            raise FleetError(f"unknown fleet book column {name!r}")
+        limit = self._n_recorded if not self._windowed else min(
+            self._n_recorded, self.window
+        )
+        if n is None:
+            n = limit
+        if n < 0 or n > limit:
+            raise FleetError(
+                f"cannot serve {n} trailing slots; {limit} available"
+                + (" in the ring window" if self._windowed else "")
+            )
+        if not self._windowed:
+            column = getattr(self, name)
+            return column[:, self._n_recorded - n : self._n_recorded].copy()
+        if n == 0:
+            return np.zeros((self.n_hubs, 0), dtype=self._ring[name].dtype)
+        slots = (np.arange(self._n_recorded - n, self._n_recorded)) % self.window
+        return self._ring[name][:, slots].copy()
 
     # ------------------------------------------------------------------ #
     # Per-hub aggregates (arrays of shape (n_hubs,))                       #
@@ -131,11 +338,15 @@ class FleetCostBook:
     @property
     def operating_cost_per_hub(self) -> np.ndarray:
         """Eq. 10 per hub: ``OC_i = Σ_t [C_grid + C_BP]``."""
+        if self._windowed:
+            return self._acc_op_cost.copy()
         return (self._recorded("grid_cost") + self._recorded("bp_cost")).sum(axis=1)
 
     @property
     def charging_revenue_per_hub(self) -> np.ndarray:
         """Eq. 11 per hub: ``CR_i = Σ_t P_CS · SRTP``."""
+        if self._windowed:
+            return self._acc_revenue.copy()
         return self._recorded("revenue").sum(axis=1)
 
     @property
@@ -155,22 +366,37 @@ class FleetCostBook:
     @property
     def grid_energy_per_hub_kwh(self) -> np.ndarray:
         """Imported energy per hub (uniform 1 h slots, like the scalar book)."""
+        if self._windowed:
+            return self._acc_grid_energy.copy()
         return self._recorded("p_grid_kw").sum(axis=1)
 
     @property
     def curtailed_per_hub_kwh(self) -> np.ndarray:
         """Curtailed renewable energy per hub."""
+        if self._windowed:
+            return self._acc_surplus.copy()
         return self._recorded("surplus_kw").sum(axis=1)
 
     @property
     def unserved_per_hub_kwh(self) -> np.ndarray:
         """Energy that could not be served (blackouts + feeder shortfalls)."""
+        if self._windowed:
+            return self._acc_unserved.copy()
         return self._recorded("unserved_kwh").sum(axis=1)
 
     @property
     def import_shortfall_per_hub_kwh(self) -> np.ndarray:
         """Grid import curtailed by feeder limits, per hub (1 h slots)."""
+        if self._windowed:
+            return self._acc_import_shortfall.copy()
         return self._recorded("import_shortfall_kw").sum(axis=1)
+
+    @property
+    def blackout_hub_slots(self) -> int:
+        """Recorded (hub, slot) pairs spent in a blackout."""
+        if self._windowed:
+            return self._blackout_hub_slots
+        return int(self.blackout[:, : self._n_recorded].sum())
 
     # ------------------------------------------------------------------ #
     # Per-feeder congestion aggregates                                     #
@@ -189,25 +415,33 @@ class FleetCostBook:
 
     def feeder_import_kw(self) -> np.ndarray:
         """Granted feeder draw per slot, shape ``(n_feeders, n_recorded)``."""
+        self._require_dense("feeder_import_kw()")
         return self._per_feeder_slots("p_grid_kw")
 
     def feeder_shortfall_kw(self) -> np.ndarray:
         """Curtailed feeder draw per slot, shape ``(n_feeders, n_recorded)``."""
+        self._require_dense("feeder_shortfall_kw()")
         return self._per_feeder_slots("import_shortfall_kw")
 
     @property
     def feeder_import_kwh(self) -> np.ndarray:
         """Imported energy per feeder (uniform 1 h slots)."""
+        if self._windowed:
+            return self._acc_feeder_import.copy()
         return self.feeder_import_kw().sum(axis=1)
 
     @property
     def feeder_shortfall_kwh(self) -> np.ndarray:
         """Curtailed import energy per feeder (uniform 1 h slots)."""
+        if self._windowed:
+            return self._acc_feeder_shortfall.copy()
         return self.feeder_shortfall_kw().sum(axis=1)
 
     @property
     def feeder_peak_import_kw(self) -> np.ndarray:
         """Worst-slot granted draw per feeder."""
+        if self._windowed:
+            return self._acc_feeder_peak.copy()
         imports = self.feeder_import_kw()
         if imports.shape[1] == 0:
             return np.zeros(self.feeders.n_feeders)
@@ -216,6 +450,8 @@ class FleetCostBook:
     @property
     def congested_feeder_slots(self) -> int:
         """Feeder-slots where the import limit curtailed somebody."""
+        if self._windowed:
+            return self._congested_slots
         return int((self.feeder_shortfall_kw() > 0.0).sum())
 
     # ------------------------------------------------------------------ #
@@ -256,6 +492,15 @@ class FleetCostBook:
         """Eq. 12 profit per (hub, day) — shape ``(n_hubs, n_days)``."""
         if slots_per_day <= 0:
             raise FleetError(f"slots_per_day must be positive, got {slots_per_day}")
+        if self._windowed:
+            if slots_per_day != _SLOTS_PER_DAY:
+                raise FleetError(
+                    f"windowed books fold daily rewards at "
+                    f"{_SLOTS_PER_DAY} slots/day; got {slots_per_day} "
+                    f"(use storage='dense' for other day lengths)"
+                )
+            n_days = -(-self._n_recorded // _SLOTS_PER_DAY)
+            return self._acc_daily[:, :n_days].copy()
         rewards = (
             self._recorded("revenue")
             - self._recorded("grid_cost")
@@ -268,11 +513,106 @@ class FleetCostBook:
         return np.add.reduceat(rewards, starts, axis=1)
 
     # ------------------------------------------------------------------ #
+    # Shard merging                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def merge_shards(
+        cls,
+        books: list["FleetCostBook"],
+        hub_indices: list[np.ndarray],
+        *,
+        feeders: FeederGroup,
+        voll_per_kwh: float = 0.0,
+    ) -> "FleetCostBook":
+        """Scatter per-shard books back into one fleet-wide book.
+
+        ``hub_indices[k]`` maps shard *k*'s rows to global hub indices
+        (ascending, disjoint, jointly covering ``feeders.n_hubs``).
+        Dense merging is a pure row scatter of every column, so the
+        merged book is byte-identical to what an unsharded run records.
+        Windowed merging scatters the per-hub/per-feeder accumulators —
+        exact as long as every shard is feeder-closed (each feeder's
+        members live in exactly one shard), which the planner guarantees
+        for windowed runs and this method enforces.
+        """
+        if not books or len(books) != len(hub_indices):
+            raise FleetError("merge_shards needs one index array per book")
+        horizon = books[0].horizon
+        storage = books[0].storage
+        window = books[0].window
+        recorded = books[0].n_recorded
+        for book, idx in zip(books, hub_indices):
+            idx = np.asarray(idx)
+            if book.horizon != horizon or book.storage != storage:
+                raise FleetError("shard books must share horizon and storage")
+            if book.window != window or book.n_recorded != recorded:
+                raise FleetError("shard books must share window and progress")
+            if book.n_hubs != idx.shape[0]:
+                raise FleetError(
+                    f"shard book holds {book.n_hubs} hubs but its index "
+                    f"array maps {idx.shape[0]}"
+                )
+        flat = np.concatenate([np.asarray(idx) for idx in hub_indices])
+        if (
+            flat.shape[0] != feeders.n_hubs
+            or not np.array_equal(np.sort(flat), np.arange(feeders.n_hubs))
+        ):
+            raise FleetError(
+                "shard hub indices must partition the fleet exactly"
+            )
+        merged = cls(
+            feeders.n_hubs,
+            horizon,
+            feeders=feeders,
+            voll_per_kwh=voll_per_kwh,
+            storage=storage,
+            window=window,
+        )
+        if storage == "dense":
+            for book, idx in zip(books, hub_indices):
+                merged.action[idx] = book.action
+                merged.blackout[idx] = book.blackout
+                for name in cls._FLOAT_COLUMNS:
+                    getattr(merged, name)[idx] = getattr(book, name)
+        else:
+            seen_feeders = np.zeros(feeders.n_feeders, dtype=bool)
+            for book, idx in zip(books, hub_indices):
+                for name, ring in merged._ring.items():
+                    ring[idx] = book._ring[name]
+                merged._acc_op_cost[idx] = book._acc_op_cost
+                merged._acc_revenue[idx] = book._acc_revenue
+                merged._acc_unserved[idx] = book._acc_unserved
+                merged._acc_surplus[idx] = book._acc_surplus
+                merged._acc_grid_energy[idx] = book._acc_grid_energy
+                merged._acc_import_shortfall[idx] = book._acc_import_shortfall
+                merged._acc_daily[idx] = book._acc_daily
+                present = np.unique(feeders.assignment[idx])
+                if present.shape[0] != book.feeders.n_feeders or seen_feeders[
+                    present
+                ].any():
+                    raise FleetError(
+                        "windowed shard merge needs feeder-closed shards "
+                        "(every feeder's hubs in exactly one shard)"
+                    )
+                seen_feeders[present] = True
+                merged._acc_feeder_import[present] = book._acc_feeder_import
+                merged._acc_feeder_shortfall[present] = (
+                    book._acc_feeder_shortfall
+                )
+                merged._acc_feeder_peak[present] = book._acc_feeder_peak
+                merged._congested_slots += book._congested_slots
+                merged._blackout_hub_slots += book._blackout_hub_slots
+        merged._n_recorded = recorded
+        return merged
+
+    # ------------------------------------------------------------------ #
     # Scalar-engine interop                                                #
     # ------------------------------------------------------------------ #
 
     def hub_book(self, index: int) -> CostBook:
         """Reconstruct one hub's scalar :class:`CostBook` from the columns."""
+        self._require_dense("hub_book()")
         if not 0 <= index < self.n_hubs:
             raise FleetError(f"hub index {index} out of range for {self.n_hubs} hubs")
         book = CostBook(voll_per_kwh=self.voll_per_kwh)

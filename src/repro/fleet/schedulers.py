@@ -97,10 +97,28 @@ class FleetRandomScheduler(FleetScheduler):
 
     @classmethod
     def from_factory(
-        cls, factory: RngFactory, n_hubs: int, *, prefix: str = "fleet/random"
+        cls,
+        factory: RngFactory,
+        n_hubs: int,
+        *,
+        prefix: str = "fleet/random",
+        hub_ids: Sequence[int] | None = None,
     ) -> "FleetRandomScheduler":
-        """One named sub-stream per hub, stable under fleet-size changes."""
-        return cls(list(factory.substreams(prefix, n_hubs)))
+        """One named sub-stream per hub, stable under fleet-size changes.
+
+        ``hub_ids`` overrides the stream indices — a sharded run passes
+        each hub's *global* index so shard hub *i* draws exactly the
+        stream the unsharded fleet would give it (``{prefix}/{hub_id}``).
+        """
+        if hub_ids is None:
+            return cls(list(factory.substreams(prefix, n_hubs)))
+        if len(hub_ids) != n_hubs:
+            raise ConfigError(
+                f"{len(hub_ids)} hub_ids for {n_hubs} hubs"
+            )
+        return cls(
+            [factory.stream(f"{prefix}/{int(hub_id)}") for hub_id in hub_ids]
+        )
 
     def reset(self, sim: FleetSimulation) -> None:
         if len(self._rngs) != sim.n_hubs:
@@ -225,12 +243,16 @@ def make_fleet_scheduler(
     congestion_aware: bool = True,
     cheap_quantile: float | None = None,
     expensive_quantile: float | None = None,
+    hub_ids: Sequence[int] | None = None,
 ) -> FleetScheduler:
     """Instantiate a fleet scheduler by name (random needs a factory).
 
     Quantiles left ``None`` use each scheduler class's own defaults; a
     quantile the named scheduler does not consume raises
-    :class:`ConfigError` instead of being silently dropped.
+    :class:`ConfigError` instead of being silently dropped. ``hub_ids``
+    carries each hub's global index into the random scheduler's stream
+    names (sharded runs); the deterministic schedulers ignore it — their
+    per-hub state is row-local already.
     """
 
     def reject_unused(allowed: tuple[str, ...]) -> None:
@@ -254,7 +276,7 @@ def make_fleet_scheduler(
     if name == FleetRandomScheduler.name:
         reject_unused(())
         factory = rng_factory or RngFactory(seed=0)
-        return FleetRandomScheduler.from_factory(factory, n_hubs)
+        return FleetRandomScheduler.from_factory(factory, n_hubs, hub_ids=hub_ids)
     if name == FleetRuleBasedScheduler.name:
         kwargs = {}
         if cheap_quantile is not None:

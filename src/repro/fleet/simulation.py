@@ -63,6 +63,8 @@ class FleetSimulation:
         initial_soc_fraction: float | np.ndarray = 0.5,
         feeders: FeederGroup | None = None,
         voll_per_kwh: float = 0.0,
+        storage: str = "dense",
+        window: int | None = None,
     ) -> None:
         if params.n_hubs != inputs.n_hubs:
             raise FleetError(
@@ -95,6 +97,14 @@ class FleetSimulation:
         #: guards every hook behind one ``is not None`` branch, so a run
         #: without telemetry pays nothing for the instrumentation.
         self._telemetry = None
+        #: Book storage layout: "dense" keeps full (n_hubs, horizon)
+        #: columns; "windowed" folds committed slots into running
+        #: aggregates over a bounded ring (memory stops scaling with the
+        #: horizon). The kernel branches once per step to refresh the
+        #: exogenous ring columns the dense path pre-fills at reset.
+        self._book_storage = storage
+        self._book_window = window
+        self._windowed_book = storage == "windowed"
         self._precompute_constants()
         self._allocate_buffers()
         self.book = self._new_book()
@@ -111,13 +121,20 @@ class FleetSimulation:
         by column on every step; the kernel only *fixes up* blackout rows.
         Unrecorded slots simply hold their (deterministic) future values —
         every aggregate reads the recorded range only.
+
+        A windowed book has no full columns to pre-fill: the kernel
+        refreshes the exogenous ring columns slot by slot instead.
         """
         book = FleetCostBook(
             self.params.n_hubs,
             self._horizon,
             feeders=self.feeders,
             voll_per_kwh=self.voll_per_kwh,
+            storage=self._book_storage,
+            window=self._book_window,
         )
+        if self._windowed_book:
+            return book
         planes = self.planes
         book.blackout[:] = planes.outage
         book.p_bs_kw[:] = planes.p_bs_kw
@@ -303,6 +320,22 @@ class FleetSimulation:
         # these writable column views; it only becomes visible to the
         # aggregates at commit_slot, so a mid-step raise books nothing.
         dest = book.begin_slot(t)
+        if self._windowed_book:
+            # The ring column may hold an evicted slot's values; rewrite
+            # the exogenous columns the dense path bulk-fills at reset
+            # and zero the branch-written ones (every other column is
+            # overwritten unconditionally below).
+            inputs = self.inputs
+            np.copyto(dest["blackout"], planes.outage[:, t])
+            np.copyto(dest["p_bs_kw"], planes.p_bs_kw[:, t])
+            np.copyto(dest["p_cs_kw"], planes.p_cs_kw[:, t])
+            np.copyto(dest["p_pv_kw"], inputs.pv_power_kw[:, t])
+            np.copyto(dest["p_wt_kw"], inputs.wt_power_kw[:, t])
+            np.copyto(dest["rtp_kwh"], inputs.rtp_kwh[:, t])
+            np.copyto(dest["srtp_kwh"], planes.srtp_kwh[:, t])
+            np.copyto(dest["revenue"], planes.revenue[:, t])
+            np.copyto(dest["unserved_kwh"], 0.0)
+            np.copyto(dest["import_shortfall_kw"], 0.0)
         applied = dest["action"]
         p_bp = dest["p_bp_kw"]
         p_grid = dest["p_grid_kw"]

@@ -1,10 +1,10 @@
-"""Process-parallel sweep execution: one worker pool, spec-JSON payloads.
+"""Process-parallel execution: sweep job chunks and intra-scenario shards.
 
 ``api.run_sweep`` grids are embarrassingly parallel — every job is an
 independent :class:`~repro.spec.scenario.ScenarioSpec`, and PR 3 made
-those specs plain serializable data. This module ships each job to a
-:class:`concurrent.futures.ProcessPoolExecutor` worker as its spec's JSON
-text; the worker compiles and runs it exactly like the serial path
+those specs plain serializable data. This module ships jobs to a
+:class:`concurrent.futures.ProcessPoolExecutor` worker as spec JSON
+text; the worker compiles and runs each one exactly like the serial path
 (``repro.api.run``) and pickles the :class:`~repro.experiments.base.
 ExperimentResult` back. Because the compiler is deterministic and every
 worker executes the same NumPy arithmetic the serial loop would, a
@@ -12,10 +12,28 @@ parallel sweep is **byte-identical** to its serial twin — results are
 re-ordered by job index before they are returned, so even the ``--out``
 JSON matches byte for byte (test-enforced).
 
+Two executors live here:
+
+* :func:`run_jobs_parallel` — the sweep executor. Jobs are submitted in
+  **chunks** (many jobs per worker task) so a large grid pays one
+  submit/result round-trip per chunk instead of per job, and each worker
+  process keeps a one-slot :func:`assembly cache <_cached_assembly>`:
+  consecutive jobs in a chunk that share a fleet/grid/blackout
+  fingerprint (the common sweep shape — vary scheduler or pricing knobs
+  over one fleet) skip re-synthesising hub traces entirely.
+* :func:`run_shards_parallel` — the city-scale shard runner. One
+  scenario's hubs are partitioned by :func:`~repro.fleet.sharding.
+  plan_shards`; each worker compiles and steps its shard
+  (:func:`~repro.fleet.sharding.run_shard`) and the parent merges the
+  books. Shard results are ordered by shard index.
+
 Guarantees:
 
 * deterministic result ordering by job index, whatever finishes first;
-* ``jobs=0`` resolves to ``os.cpu_count()``;
+* ``jobs=0`` resolves to this process's CPU *affinity* set where the
+  platform reports one (``os.sched_getaffinity``), falling back to
+  ``os.cpu_count()`` — so container/cgroup-limited runs stop
+  oversubscribing their quota;
 * a failing job raises :class:`~repro.errors.ParallelError` naming the
   job's overrides (so a 100-job grid tells you *which* point died), with
   the worker's original exception chained as ``__cause__`` and the
@@ -36,7 +54,9 @@ serial. The sweet spot is many jobs x non-trivial horizons — see the
 
 from __future__ import annotations
 
+import math
 import os
+import pickle
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -62,16 +82,73 @@ def _remote_traceback(error: BaseException) -> str:
     ).strip()
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.sched_getaffinity(0)`` honours taskset/cgroup cpusets (Linux);
+    platforms without it fall back to the raw core count.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``jobs`` request: ``None``→1 (serial), ``0``→all cores."""
+    """Normalize a ``jobs`` request: ``None``→1 (serial), ``0``→all cores.
+
+    "All cores" means the affinity set (:func:`_available_cpus`), not the
+    machine's nominal core count.
+    """
     if jobs is None:
         return 1
     jobs = int(jobs)
     if jobs < 0:
         raise ConfigError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
     if jobs == 0:
-        return os.cpu_count() or 1
+        return _available_cpus()
     return jobs
+
+
+def resolve_chunk_size(
+    chunk_size: int | None, n_jobs: int, workers: int
+) -> int:
+    """Jobs per worker task: explicit, or ~4 chunks per worker.
+
+    The auto split keeps the pool load-balanced (stragglers only delay
+    one small chunk) while amortising submit/result overhead and giving
+    the per-worker assembly cache consecutive same-fleet jobs to hit on.
+    """
+    if chunk_size is not None:
+        chunk_size = int(chunk_size)
+        if chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    return max(1, math.ceil(n_jobs / (workers * 4)))
+
+
+#: One-slot per-process assembly cache: (fingerprint, FleetAssembly).
+#: Lives at module scope so it survives across tasks on one pool worker.
+_WORKER_ASSEMBLY: tuple[str, object] | None = None
+
+
+def _cached_assembly(spec):
+    """This worker's :class:`FleetAssembly` for ``spec``, reusing the last
+    one when the spec's fleet/grid/blackout fingerprint matches.
+
+    A hit skips trace synthesis *and* keeps the realized-strata cache
+    warm (``build`` rebinds the assembly to the new spec), which is what
+    makes scheduler/pricing sweeps over one fleet cheap per extra job.
+    """
+    global _WORKER_ASSEMBLY
+    from .spec.compiler import _assemble_fleet, assembly_fingerprint
+
+    fingerprint = assembly_fingerprint(spec)
+    if _WORKER_ASSEMBLY is None or _WORKER_ASSEMBLY[0] != fingerprint:
+        _WORKER_ASSEMBLY = (fingerprint, _assemble_fleet(spec))
+    return _WORKER_ASSEMBLY[1]
 
 
 def _run_payload(payload: str, with_telemetry: bool = False) -> ExperimentResult:
@@ -87,43 +164,134 @@ def _run_payload(payload: str, with_telemetry: bool = False) -> ExperimentResult
     from .spec.scenario import ScenarioSpec
     from .telemetry import Telemetry
 
+    spec = ScenarioSpec.from_json(payload)
     telemetry = Telemetry(include_meta=False) if with_telemetry else None
-    return api.run(ScenarioSpec.from_json(payload), telemetry=telemetry)
+    return api.run(spec, telemetry=telemetry, assembly=_cached_assembly(spec))
+
+
+def _run_payload_chunk(
+    payloads: list[str], with_telemetry: bool = False
+) -> tuple[list[ExperimentResult], tuple[int, BaseException, str] | None]:
+    """Worker entry point for a chunk of jobs.
+
+    Returns ``(results, failure)`` where ``failure`` is ``None`` or
+    ``(offset_in_chunk, original_error, formatted_traceback)`` for the
+    first job that raised — jobs after it are not run. The error rides
+    back as a *value* (not a raise) so the parent can chain the genuine
+    exception instance as ``ParallelError.__cause__``; errors that don't
+    survive pickling are replaced by a ``RuntimeError`` carrying their
+    repr.
+    """
+    results: list[ExperimentResult] = []
+    for offset, payload in enumerate(payloads):
+        try:
+            results.append(_run_payload(payload, with_telemetry))
+        except Exception as error:
+            trace = "".join(
+                traceback.format_exception(type(error), error, error.__traceback__)
+            ).strip()
+            try:
+                pickle.dumps(error)
+            except Exception:
+                error = RuntimeError(repr(error))
+            return results, (offset, error, trace)
+    return results, None
 
 
 def run_jobs_parallel(
-    expanded: list[SweepJob], n_workers: int, *, with_telemetry: bool = False
+    expanded: list[SweepJob],
+    n_workers: int,
+    *,
+    with_telemetry: bool = False,
+    chunk_size: int | None = None,
 ) -> list[ExperimentResult]:
     """Run pre-expanded sweep jobs over a worker pool, ordered by index.
 
     The caller (``api.run_sweep``) expands the grid once and tags the
     returned results, so serial and parallel sweeps share one code path
-    for everything except the executor.
+    for everything except the executor. Jobs are submitted as contiguous
+    chunks (:func:`resolve_chunk_size`); within a chunk they run in grid
+    order, which is also what lets the worker-side assembly cache hit.
     """
     if not expanded:
         return []
     results: list[ExperimentResult | None] = [None] * len(expanded)
     workers = min(n_workers, len(expanded))
-    log.debug("starting worker pool", workers=workers, jobs=len(expanded))
+    size = resolve_chunk_size(chunk_size, len(expanded), workers)
+    chunks = [expanded[i : i + size] for i in range(0, len(expanded), size)]
+    log.debug(
+        "starting worker pool",
+        workers=workers,
+        jobs=len(expanded),
+        chunks=len(chunks),
+    )
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        future_jobs = {
-            pool.submit(_run_payload, job.spec.to_json(), with_telemetry): job
-            for job in expanded
+        future_chunks = {
+            pool.submit(
+                _run_payload_chunk,
+                [job.spec.to_json() for job in chunk],
+                with_telemetry,
+            ): chunk
+            for chunk in chunks
         }
         # Collect in completion order so the *first* failure is observed
         # as soon as it happens; indices restore job order below.
-        for future in as_completed(future_jobs):
-            job = future_jobs[future]
-            try:
-                results[job.index] = future.result()
-            except Exception as error:
+        for future in as_completed(future_chunks):
+            chunk = future_chunks[future]
+            chunk_results, failure = future.result()
+            for job, result in zip(chunk, chunk_results):
+                results[job.index] = result
+            if failure is not None:
                 # Fail fast: drop the not-yet-started remainder of the
                 # grid instead of burning CPU after the outcome is known.
                 pool.shutdown(wait=False, cancel_futures=True)
+                offset, error, trace = failure
+                job = chunk[offset]
                 label = job.label() or "(base spec)"
                 raise ParallelError(
                     f"sweep job {job.index} [{label}] failed in a worker: "
                     f"{error}",
-                    job_traceback=_remote_traceback(error),
+                    job_traceback=trace,
                 ) from error
     return results  # type: ignore[return-value]
+
+
+def _run_shard_task(task):
+    """Worker entry point for one fleet shard (module-level: picklable)."""
+    from .fleet.sharding import run_shard
+
+    return run_shard(task)
+
+
+def run_shards_parallel(tasks: list, n_workers: int) -> list:
+    """Run :class:`~repro.fleet.sharding.ShardTask`s, ordered by shard index.
+
+    A single task (or ``n_workers <= 1``) runs in-process — no pool, no
+    pickling — so one-shard plans cost nothing over the unsharded path.
+    Failures raise :class:`ParallelError` naming the shard and its size,
+    with the worker traceback on ``.job_traceback``.
+    """
+    if not tasks:
+        return []
+    if len(tasks) == 1 or n_workers <= 1:
+        return [_run_shard_task(task) for task in tasks]
+    results = [None] * len(tasks)
+    workers = min(n_workers, len(tasks))
+    log.debug("starting shard pool", workers=workers, shards=len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        future_tasks = {
+            pool.submit(_run_shard_task, task): task for task in tasks
+        }
+        for future in as_completed(future_tasks):
+            task = future_tasks[future]
+            try:
+                result = future.result()
+            except Exception as error:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise ParallelError(
+                    f"shard {task.shard_index} ({len(task.hub_indices)} hubs) "
+                    f"failed in a worker: {error}",
+                    job_traceback=_remote_traceback(error),
+                ) from error
+            results[result.shard_index] = result
+    return results

@@ -14,6 +14,7 @@ layer too.
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -178,9 +179,18 @@ def _build_feeders(
 
 
 def make_scheduler(
-    scheduler: SchedulerSpec, *, n_hubs: int, rng_factory: RngFactory
+    scheduler: SchedulerSpec,
+    *,
+    n_hubs: int,
+    rng_factory: RngFactory,
+    hub_ids=None,
 ) -> FleetScheduler:
-    """Instantiate the spec'd scheduler (quantiles None ⇒ class defaults)."""
+    """Instantiate the spec'd scheduler (quantiles None ⇒ class defaults).
+
+    ``hub_ids`` carries global hub indices into the random scheduler's
+    per-hub stream names — what keeps a sharded run's random actions
+    bit-identical to the unsharded fleet's.
+    """
     return make_fleet_scheduler(
         scheduler.name,
         n_hubs=n_hubs,
@@ -188,6 +198,7 @@ def make_scheduler(
         congestion_aware=scheduler.congestion_aware,
         cheap_quantile=scheduler.cheap_quantile,
         expensive_quantile=scheduler.expensive_quantile,
+        hub_ids=hub_ids,
     )
 
 
@@ -276,8 +287,18 @@ class FleetAssembly:
         )
 
 
-def _assemble_fleet(spec: ScenarioSpec) -> FleetAssembly:
-    """Resolve a spec into sites, traces, blackout masks, and feeders."""
+def assemble_sites(
+    spec: ScenarioSpec,
+) -> tuple[list[HubSite], list[HubGroupSpec | None], FeederGroup, int, int, int]:
+    """Sites + feeder topology + resolved sizes, without hub traces.
+
+    Returns ``(sites, per_hub, feeders, n_hubs, days, horizon)`` — the
+    cheap, whole-fleet part of :func:`_assemble_fleet` (site jitter is a
+    single sequential ``catalog/fleet`` stream, feeders a topology
+    table). The sharded runner plans shards and reports hub kinds from
+    this without compiling a single trace; every stream is name-keyed,
+    so a worker re-deriving the same sites sees identical values.
+    """
     if not isinstance(spec, ScenarioSpec):
         raise ConfigError(
             f"expected a ScenarioSpec, got {type(spec).__name__}"
@@ -286,7 +307,55 @@ def _assemble_fleet(spec: ScenarioSpec) -> FleetAssembly:
     n_hubs, per_hub = _group_table(spec.fleet, run.scale)
     days = _scaled(run.days, run.scale, minimum=1)
     horizon = days * HOURS_PER_DAY
+    factory = RngFactory(seed=run.seed)
+    sites = default_fleet(
+        n_hubs, rng_factory=factory, urban_fraction=spec.fleet.urban_fraction
+    )
+    sites = [
+        _apply_site_overrides(site, group)
+        for site, group in zip(sites, per_hub)
+    ]
+    feeders = _build_feeders(spec.grid, per_hub, n_hubs, horizon)
+    return sites, per_hub, feeders, n_hubs, days, horizon
 
+
+def assembly_fingerprint(spec: ScenarioSpec) -> str:
+    """Canonical JSON of exactly the spec sections the assembly consumes.
+
+    Two specs with equal fingerprints produce bit-identical
+    :class:`FleetAssembly` pieces (sites, traces, strata, outages,
+    feeders) — scheduler/pricing/rl differences don't re-assemble. The
+    sweep executor keys its per-worker assembly cache on this.
+    """
+    payload = spec.to_dict()
+    run = payload["run"]
+    return json.dumps(
+        {
+            "fleet": payload["fleet"],
+            "grid": payload["grid"],
+            "blackout": payload["blackout"],
+            "run": {key: run[key] for key in ("days", "seed", "scale")},
+        },
+        sort_keys=True,
+    )
+
+
+def _assemble_fleet(
+    spec: ScenarioSpec, *, hub_indices=None
+) -> FleetAssembly:
+    """Resolve a spec into sites, traces, blackout masks, and feeders.
+
+    ``hub_indices`` (strictly increasing global hub indices) restricts
+    the expensive per-hub work — trace synthesis, battery sizing, outage
+    sampling — to a shard of the fleet while keeping every whole-fleet
+    draw (site jitter, the charging behavior model's sequential streams)
+    identical to the unsharded assembly. Because all per-hub randomness
+    is name-keyed by global hub id, shard row *i* is bit-identical to
+    row ``hub_indices[i]`` of the full assembly; the returned feeders
+    are the matching :meth:`FeederGroup.subgroup`.
+    """
+    sites, per_hub, feeders, n_hubs, days, horizon = assemble_sites(spec)
+    run = spec.run
     factory = RngFactory(seed=run.seed)
     fleet = spec.fleet
     charging = replace(
@@ -306,18 +375,21 @@ def _assemble_fleet(spec: ScenarioSpec) -> FleetAssembly:
         },
     )
 
-    sites = default_fleet(
-        n_hubs, rng_factory=factory, urban_fraction=fleet.urban_fraction
-    )
+    if hub_indices is None:
+        selected = list(zip(sites, per_hub))
+    else:
+        idx = np.asarray(hub_indices)
+        # subgroup() validates the index array (1-D, integer, strictly
+        # increasing, in range) as it restricts the feeder topology.
+        feeders, _ = feeders.subgroup(idx)
+        selected = [(sites[i], per_hub[i]) for i in idx]
     scenarios = [
-        build_scenario(
-            _apply_site_overrides(site, group),
-            _hub_config_for(base_config, group),
-            factory,
-        )
-        for site, group in zip(sites, per_hub)
+        build_scenario(site, _hub_config_for(base_config, group), factory)
+        for site, group in selected
     ]
 
+    # Strata scales index by *global* station id inside the behavior
+    # model, so the table always spans the full fleet.
     strata_scales: np.ndarray | None = None
     if any(
         group is not None
@@ -357,8 +429,8 @@ def _assemble_fleet(spec: ScenarioSpec) -> FleetAssembly:
             base_config.charging, factory, strata_scales=strata_scales
         ),
         outage=outage,
-        feeders=_build_feeders(spec.grid, per_hub, n_hubs, horizon),
-        n_hubs=n_hubs,
+        feeders=feeders,
+        n_hubs=len(scenarios),
         days=days,
         horizon=horizon,
     )
@@ -369,6 +441,7 @@ def build(
     *,
     discount: np.ndarray | None = None,
     telemetry=None,
+    assembly: FleetAssembly | None = None,
 ) -> CompiledScenario:
     """Compile a spec into scenarios + batched engine + scheduler.
 
@@ -378,8 +451,28 @@ def build(
     ``"none"``, a trained policy's schedule otherwise. Either way the
     latent strata, traces, outages, and feeders are identical; only the
     occupancy/discount planes differ.
+
+    ``assembly`` reuses a previously built :class:`FleetAssembly` instead
+    of re-synthesising traces — the sweep workers' cache seam. The
+    assembly must come from a spec with the same
+    :func:`assembly_fingerprint` (scheduler/pricing/run-policy knobs may
+    differ; fleet/grid/blackout and run days/seed/scale may not) or a
+    :class:`ConfigError` is raised. The cached strata survive the rebind,
+    so re-pricing sweeps skip both trace synthesis and the strata draw.
     """
-    assembly = _assemble_fleet(spec)
+    if assembly is None:
+        assembly = _assemble_fleet(spec)
+    elif assembly.spec is not spec:
+        if assembly_fingerprint(assembly.spec) != assembly_fingerprint(spec):
+            raise ConfigError(
+                "cached assembly does not match this spec's "
+                "fleet/grid/blackout/run sections"
+            )
+        rebound = dataclasses.replace(assembly, spec=spec)
+        # dataclasses.replace re-inits, resetting the init=False strata
+        # cache — carry it over; it's discount-independent by design.
+        rebound._strata = assembly._strata
+        assembly = rebound
     run = spec.run
     scenarios = assembly.scenarios
 
@@ -405,6 +498,7 @@ def build(
         initial_soc_fraction=run.initial_soc_fraction,
         feeders=assembly.feeders,
         voll_per_kwh=run.voll_per_kwh,
+        storage=run.storage,
     )
     scheduler = make_scheduler(
         spec.scheduler, n_hubs=assembly.n_hubs, rng_factory=RngFactory(seed=run.seed)

@@ -457,6 +457,11 @@ class RlSpec:
             )
 
 
+#: Cost-book storage layouts (mirrors ``repro.fleet.costs.STORAGE_MODES``;
+#: kept local so plain spec builds stay engine-import-free).
+STORAGE_MODES = ("dense", "windowed")
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """Horizon, seed, scale, and run-level economics.
@@ -465,6 +470,13 @@ class RunSpec:
     experiment-wide fidelity/runtime dial); ``voll_per_kwh`` is the
     value-of-lost-load penalty — Eq. 12 profit charges every unserved kWh
     at this rate, so reliability failures are monetized instead of free.
+
+    ``shards`` and ``storage`` are the city-scale execution knobs:
+    ``shards > 1`` partitions the fleet feeder-aware over worker
+    processes (byte-identical results to an unsharded run — an executor
+    choice, not a model change), and ``storage="windowed"`` folds the
+    cost book into running aggregates so memory stops scaling with the
+    horizon (aggregates agree with dense at atol 1e-9).
     """
 
     days: int = DEFAULT_DAYS
@@ -472,10 +484,22 @@ class RunSpec:
     scale: float = 1.0
     initial_soc_fraction: float = 0.5
     voll_per_kwh: float = 0.0
+    shards: int = 1
+    storage: str = "dense"
 
     def __post_init__(self) -> None:
         if self.days <= 0:
             raise ConfigError(f"days must be positive, got {self.days}")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) \
+                or self.shards < 1:
+            raise ConfigError(
+                f"shards must be an integer >= 1, got {self.shards!r}"
+            )
+        if self.storage not in STORAGE_MODES:
+            raise ConfigError(
+                f"unknown run storage {self.storage!r}; "
+                f"available: {', '.join(STORAGE_MODES)}"
+            )
         if not math.isfinite(self.scale) or self.scale <= 0:
             raise ConfigError(f"scale must be finite and positive, got {self.scale}")
         if not 0.0 <= self.initial_soc_fraction <= 1.0:

@@ -7,7 +7,9 @@ run must not be confused with a strict local one. :func:`run_metadata`
 collects the short list the bench trajectory needs — hostname, python
 and numpy versions, the git commit, and the ``ECT_PERF_RELAXED`` flag —
 and caches it per process (the git subprocess runs once, not per
-report).
+report). One live gauge rides along: :func:`peak_rss_mb`, the process's
+peak resident set so far — what the windowed cost-book's memory ceiling
+is measured against in the ``fleet-city`` benchmark.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import os
 import platform
 import socket
 import subprocess
+import sys
 from functools import lru_cache
 
 
@@ -35,13 +38,27 @@ def _git_commit() -> str | None:
     return commit if output.returncode == 0 and commit else None
 
 
-@lru_cache(maxsize=1)
-def run_metadata() -> dict:
-    """The environment fingerprint, cached for the process lifetime.
+def peak_rss_mb() -> float | None:
+    """Peak resident set size of this process so far, in MiB.
 
-    Returns a fresh copy-safe dict of plain strings/bools so callers can
-    embed it straight into JSON payloads.
+    Reads ``getrusage(RUSAGE_SELF).ru_maxrss`` — KiB on Linux, bytes on
+    macOS — and returns ``None`` where the :mod:`resource` module is
+    unavailable (non-POSIX platforms). A high-water mark, not a current
+    reading: it only ever grows, which is exactly what a memory-ceiling
+    guard wants.
     """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024 * 1024 if sys.platform == "darwin" else 1024
+    return round(ru_maxrss / divisor, 1)
+
+
+@lru_cache(maxsize=1)
+def _static_metadata() -> dict:
+    """The immutable part of the fingerprint, cached for the process."""
     import numpy
 
     return {
@@ -52,3 +69,14 @@ def run_metadata() -> dict:
         "git_commit": _git_commit(),
         "ect_perf_relaxed": os.environ.get("ECT_PERF_RELAXED", "") == "1",
     }
+
+
+def run_metadata() -> dict:
+    """The environment fingerprint plus the live peak-RSS gauge.
+
+    The static fields are cached (the git subprocess runs once per
+    process); ``peak_rss_mb`` is re-read every call, so a record
+    snapshotted at the end of a run carries that run's memory
+    high-water mark. Returns a fresh dict each call — mutate freely.
+    """
+    return {**_static_metadata(), "peak_rss_mb": peak_rss_mb()}

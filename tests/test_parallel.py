@@ -20,7 +20,7 @@ from repro.cli import main
 from repro.errors import ConfigError, ParallelError
 from repro.experiments.base import write_results_json
 from repro.fleet.schedulers import FleetIdleScheduler
-from repro.parallel import resolve_jobs
+from repro.parallel import resolve_chunk_size, resolve_jobs
 from repro.spec import SweepSpec
 from repro.spec.compiler import spec_from_fleet_flags
 
@@ -38,7 +38,24 @@ class TestResolveJobs:
     def test_default_is_serial(self):
         assert resolve_jobs(None) == 1
 
-    def test_zero_means_all_cores(self):
+    def test_zero_means_affinity_set(self, monkeypatch):
+        """jobs=0 honours the scheduler affinity mask, not the raw count.
+
+        A container pinned to 2 of 64 cores must get 2 workers.
+        """
+        from repro import parallel
+
+        if hasattr(os, "sched_getaffinity"):
+            monkeypatch.setattr(
+                os, "sched_getaffinity", lambda pid: {0, 5}, raising=True
+            )
+            assert resolve_jobs(0) == 2
+        else:  # pragma: no cover - non-Linux fallback
+            assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert parallel._available_cpus() == resolve_jobs(0)
+
+    def test_zero_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
         assert resolve_jobs(0) == (os.cpu_count() or 1)
 
     def test_explicit_count_passes_through(self):
@@ -47,6 +64,22 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ConfigError):
             resolve_jobs(-1)
+
+
+class TestResolveChunkSize:
+    def test_explicit_passes_through(self):
+        assert resolve_chunk_size(7, n_jobs=100, workers=4) == 7
+
+    def test_auto_targets_four_chunks_per_worker(self):
+        assert resolve_chunk_size(None, n_jobs=32, workers=4) == 2
+        assert resolve_chunk_size(None, n_jobs=100, workers=4) == 7
+
+    def test_auto_never_below_one(self):
+        assert resolve_chunk_size(None, n_jobs=2, workers=8) == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_chunk_size(0, n_jobs=4, workers=2)
 
 
 class TestSerialParallelEquivalence:
@@ -63,6 +96,18 @@ class TestSerialParallelEquivalence:
         write_results_json(serial, serial_path)
         write_results_json(parallel, parallel_path)
         assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, None])
+    def test_chunked_executor_byte_identical(self, tmp_path, chunk_size):
+        """Chunk size is pure batching — any size matches serial exactly."""
+        sweep = small_sweep(5)
+        serial = api.run_sweep(sweep)
+        chunked = api.run_sweep(sweep, jobs=2, chunk_size=chunk_size)
+        serial_path = tmp_path / "serial.json"
+        chunked_path = tmp_path / "chunked.json"
+        write_results_json(serial, serial_path)
+        write_results_json(chunked, chunked_path)
+        assert serial_path.read_bytes() == chunked_path.read_bytes()
 
     def test_cli_sweep_jobs_export_matches_serial(self, tmp_path):
         argv = [
@@ -126,6 +171,77 @@ class TestWorkerFailure:
         assert "grid.n_feeders=999" in message
         assert "job 1" in message
         assert isinstance(excinfo.value.__cause__, ConfigError)
+
+    def test_failure_inside_a_chunk_names_the_right_job(self):
+        """With several jobs per chunk, the *offset* job is named, the
+        completed jobs before it are not blamed."""
+        base = spec_from_fleet_flags(n_hubs=5, days=2)
+        sweep = SweepSpec(
+            base=base,
+            parameters={"grid.n_feeders": (1, 2, 999, 3)},
+            name="doomed-chunk",
+        )
+        with pytest.raises(ParallelError) as excinfo:
+            api.run_sweep(sweep, jobs=2, chunk_size=4)
+        message = str(excinfo.value)
+        assert "job 2" in message
+        assert "grid.n_feeders=999" in message
+        assert isinstance(excinfo.value.__cause__, ConfigError)
+        assert excinfo.value.job_traceback
+
+
+class TestWorkerAssemblyCache:
+    def test_cache_hits_on_shared_fleet_fingerprint(self):
+        """Jobs differing only in scheduler/pricing knobs reuse the
+        worker's cached assembly; a fleet change evicts it."""
+        from repro import parallel
+        from repro.spec.compiler import assembly_fingerprint
+
+        parallel._WORKER_ASSEMBLY = None
+        base = spec_from_fleet_flags(n_hubs=4, days=2)
+        first = parallel._cached_assembly(base)
+        same_fleet = base.with_overrides({"scheduler.name": "idle"})
+        assert parallel._cached_assembly(same_fleet) is first
+        other_fleet = base.with_overrides({"fleet.n_hubs": 5})
+        assert assembly_fingerprint(other_fleet) != assembly_fingerprint(base)
+        evicted = parallel._cached_assembly(other_fleet)
+        assert evicted is not first
+        assert evicted.n_hubs == 5
+        parallel._WORKER_ASSEMBLY = None
+
+    def test_seed_change_evicts(self):
+        from repro import parallel
+
+        parallel._WORKER_ASSEMBLY = None
+        base = spec_from_fleet_flags(n_hubs=4, days=2)
+        first = parallel._cached_assembly(base)
+        reseeded = base.with_overrides({"run.seed": 7})
+        assert parallel._cached_assembly(reseeded) is not first
+        parallel._WORKER_ASSEMBLY = None
+
+    def test_cached_assembly_runs_byte_identical(self, tmp_path):
+        """api.run with a rebound cached assembly matches a cold compile."""
+        from repro import parallel
+
+        parallel._WORKER_ASSEMBLY = None
+        base = spec_from_fleet_flags(n_hubs=4, days=2)
+        variant = base.with_overrides({"scheduler.name": "greedy-renewable"})
+        cold = api.run(variant)
+        warm = api.run(variant, assembly=parallel._cached_assembly(base))
+        cold_path = tmp_path / "cold.json"
+        warm_path = tmp_path / "warm.json"
+        write_results_json(cold, cold_path)
+        write_results_json(warm, warm_path)
+        assert cold_path.read_bytes() == warm_path.read_bytes()
+        parallel._WORKER_ASSEMBLY = None
+
+    def test_mismatched_assembly_rejected(self):
+        from repro.spec.compiler import _assemble_fleet, build
+
+        base = spec_from_fleet_flags(n_hubs=4, days=2)
+        other = spec_from_fleet_flags(n_hubs=5, days=2)
+        with pytest.raises(ConfigError, match="cached assembly"):
+            build(other, assembly=_assemble_fleet(base))
 
 
 class TestSchedulerLifecycle:

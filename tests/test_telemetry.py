@@ -219,11 +219,26 @@ class TestRunMetadata:
             "numpy_version",
             "git_commit",
             "ect_perf_relaxed",
+            "peak_rss_mb",
         }
         json.dumps(meta)
 
-    def test_cached_per_process(self):
-        assert run_metadata() is run_metadata()
+    def test_static_part_cached_live_gauge_fresh(self):
+        # The expensive fields (git subprocess) are computed once; the
+        # record itself is a fresh dict so the peak-RSS gauge is live.
+        first, second = run_metadata(), run_metadata()
+        assert first is not second
+        static = {k: v for k, v in first.items() if k != "peak_rss_mb"}
+        assert static == {k: v for k, v in second.items() if k != "peak_rss_mb"}
+
+    def test_peak_rss_is_positive_where_supported(self):
+        from repro.telemetry.runinfo import peak_rss_mb
+
+        peak = peak_rss_mb()
+        if peak is not None:
+            assert peak > 0
+            # Monotone high-water mark.
+            assert peak_rss_mb() >= peak
 
 
 # --------------------------------------------------------------------- #
