@@ -33,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .backend import get_backend
 from .errors import ConfigError
 from .experiments.base import ExperimentResult, scaled
 from .rng import RngFactory
@@ -373,6 +374,9 @@ def _fleet_result(
         metrics.inc("engine.congested_feeder_slots", book.congested_feeder_slots)
         metrics.inc("engine.unserved_kwh", book.total_unserved_kwh)
         metrics.inc("runs")
+        # The *resolved* backend (a "numba" spec without the package
+        # records the numpy fallback it actually ran on).
+        telemetry.set_backend(get_backend(resolved.run.backend).name)
         result.telemetry = telemetry.to_dict()
     return result
 
@@ -523,6 +527,7 @@ def train_fleet(
         metrics.inc("rl.train_episodes", train_episodes)
         metrics.inc("rl.train_transitions", hub_slots)
         metrics.inc("runs")
+        telemetry.set_backend(get_backend(resolved.run.backend).name)
         result.telemetry = telemetry.to_dict()
     return result
 
@@ -713,5 +718,6 @@ def run_pricing(
     )
     if telemetry is not None:
         telemetry.metrics.inc("pricing.methods", len(methods))
+        telemetry.set_backend(get_backend(resolved.run.backend).name)
         result.telemetry = telemetry.to_dict()
     return result

@@ -1,0 +1,34 @@
+"""``repro.backend`` — the pluggable array-backend seam under the engine.
+
+The fused fleet kernel, feeder allocator, cost book, and vectorized
+schedulers dispatch every hot-path array operation through an
+:class:`~repro.backend.base.ArrayOps` instance instead of calling numpy
+directly. :func:`get_backend` resolves one by name:
+
+``"numpy"``
+    The reference implementation — direct ufunc aliases, byte-identical
+    to the pre-seam engine (preset golden exports unchanged).
+``"numba"``
+    Optional JIT backend that fuses the battery block of the slot kernel
+    into a compiled per-hub loop. Behind a guarded import: without the
+    numba package it falls back to numpy with a logged warning.
+
+Selection threads through the whole spine: ``RunSpec.backend`` (JSON
+round-trippable, ``--set run.backend=...`` overridable), the spec
+compiler, ``api.run``/sweeps/pricing/RL, the ``ect-hub fleet --backend``
+CLI flag, and shard/sweep workers (children re-resolve the spec's
+backend in their own process). The telemetry run fingerprint records
+which backend actually executed.
+"""
+
+from .base import ArrayOps
+from .numpy_backend import NumpyOps
+from .registry import BACKEND_NAMES, available_backends, get_backend
+
+__all__ = [
+    "ArrayOps",
+    "BACKEND_NAMES",
+    "NumpyOps",
+    "available_backends",
+    "get_backend",
+]

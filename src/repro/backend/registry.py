@@ -1,0 +1,62 @@
+"""Backend resolution: a name (``"numpy"``, ``"numba"``) to an ``ArrayOps``.
+
+One instance per backend is constructed lazily and cached for the
+process — backends are stateless, and sharing keeps the engines cheap to
+build. Resolution is where the optional-dependency policy lives: asking
+for ``"numba"`` on a machine without numba logs a warning and returns the
+numpy reference instead of crashing, so specs that pin the backend stay
+portable (worker processes re-resolve and fall back identically, keeping
+parent and shard arithmetic byte-identical).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..telemetry import log
+from .base import ArrayOps
+from .numba_backend import HAVE_NUMBA, NumbaOps
+from .numpy_backend import NumpyOps
+
+#: Every backend name the registry (and ``RunSpec.backend``) accepts.
+BACKEND_NAMES = ("numpy", "numba")
+
+_INSTANCES: dict[str, ArrayOps] = {}
+
+
+def available_backends() -> list[str]:
+    """Backends that resolve to a *real* implementation here (no fallback)."""
+    names = ["numpy"]
+    if HAVE_NUMBA:  # pragma: no cover - needs the optional numba package
+        names.append("numba")
+    return names
+
+
+def get_backend(backend: str | ArrayOps = "numpy") -> ArrayOps:
+    """Resolve a backend name (or pass an ``ArrayOps`` instance through).
+
+    Unknown names raise :class:`~repro.errors.ConfigError`; ``"numba"``
+    without the optional numba package falls back to the numpy reference
+    with a logged warning (every resolution warns, so shard/sweep worker
+    logs show the fallback too).
+    """
+    if isinstance(backend, ArrayOps):
+        return backend
+    if backend not in BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown array backend {backend!r}; "
+            f"available: {', '.join(BACKEND_NAMES)}"
+        )
+    if backend == "numba" and not HAVE_NUMBA:
+        log.warning(
+            "numba backend unavailable (the optional numba package is not "
+            "installed); falling back to numpy",
+        )
+        backend = "numpy"
+    ops = _INSTANCES.get(backend)
+    if ops is None:
+        if backend == "numpy":
+            ops = NumpyOps()
+        else:  # pragma: no cover - needs the optional numba package
+            ops = NumbaOps()
+        _INSTANCES[backend] = ops
+    return ops

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import ArrayOps, get_backend
 from ..errors import FleetError
 
 #: Supported contention-resolution policies.
@@ -241,7 +242,7 @@ class FeederGroup:
     # ------------------------------------------------------------------ #
 
     def allocate(
-        self, import_kw: np.ndarray, t: int
+        self, import_kw: np.ndarray, t: int, *, ops: ArrayOps | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Resolve one slot's contention: ``(granted_kw, shortfall_kw)``.
 
@@ -251,7 +252,13 @@ class FeederGroup:
         :attr:`policy`. Granted + shortfall reproduces the request
         exactly, both arrays are non-negative, and per-feeder granted
         totals never exceed capacity (beyond float rounding).
+
+        ``ops`` selects the array backend for the allocation arithmetic;
+        the engine passes its own so the whole slot runs on one backend.
+        Standalone callers can omit it (numpy reference).
         """
+        if ops is None:
+            ops = get_backend()
         demand = np.asarray(import_kw, dtype=float)
         if demand.shape != self.assignment.shape:
             raise FleetError(
@@ -262,17 +269,19 @@ class FeederGroup:
             return demand, np.zeros_like(demand)
         capacity = self.capacity_at(t)
         if self.policy == "proportional":
-            granted = self._allocate_proportional(demand, capacity)
+            granted = self._allocate_proportional(demand, capacity, ops)
         else:
-            granted = self._allocate_priority(demand, capacity)
-        shortfall = np.maximum(demand - granted, 0.0)
+            granted = self._allocate_priority(demand, capacity, ops)
+        shortfall = ops.maximum(demand - granted, 0.0)
         return granted, shortfall
 
     def _allocate_proportional(
-        self, demand: np.ndarray, capacity: np.ndarray
+        self, demand: np.ndarray, capacity: np.ndarray, ops: ArrayOps
     ) -> np.ndarray:
         """Scale every member of an over-subscribed feeder by cap/draw."""
-        feeder_demand = self.feeder_demand_kw(demand)
+        feeder_demand = ops.bincount(
+            self.assignment, weights=demand, minlength=self.n_feeders
+        )
         scale = np.ones(self.n_feeders)
         over = feeder_demand > capacity
         if not over.any():
@@ -281,7 +290,7 @@ class FeederGroup:
         return demand * scale[self.assignment]
 
     def _allocate_priority(
-        self, demand: np.ndarray, capacity: np.ndarray
+        self, demand: np.ndarray, capacity: np.ndarray, ops: ArrayOps
     ) -> np.ndarray:
         """Greedy fill in descending priority order within each feeder."""
         n = self.n_hubs
@@ -290,22 +299,21 @@ class FeederGroup:
         )
         # Sort by (feeder, -priority, hub index); each hub's queue-ahead
         # demand is then an exclusive prefix sum within its feeder segment.
-        # The prefix sum is computed per segment, never globally: a global
-        # cumsum minus the segment-start offset would leak other feeders'
-        # rounding into this feeder's grants, breaking the bit-identity of
-        # feeder-closed shards (FeederGroup.subgroup) with the full fleet.
+        # ops.segment_prefix_sum computes it per segment, never globally: a
+        # global cumsum minus the segment-start offset would leak other
+        # feeders' rounding into this feeder's grants, breaking the
+        # bit-identity of feeder-closed shards (FeederGroup.subgroup)
+        # with the full fleet.
         order = np.lexsort((np.arange(n), -priority, self.assignment))
         feeder_sorted = self.assignment[order]
         demand_sorted = demand[order]
-        starts = np.r_[0, np.flatnonzero(np.diff(feeder_sorted)) + 1]
+        starts = np.r_[0, ops.flatnonzero(np.diff(feeder_sorted)) + 1]
         bounds = np.r_[starts, n]
-        ahead = np.zeros(n)
-        for lo, hi in zip(bounds[:-1], bounds[1:]):
-            ahead[lo + 1 : hi] = np.cumsum(demand_sorted[lo : hi - 1])
-        granted_sorted = np.clip(
+        ahead = ops.segment_prefix_sum(demand_sorted, bounds)
+        granted_sorted = ops.clip(
             capacity[feeder_sorted] - ahead, 0.0, demand_sorted
         )
-        granted = np.empty(n)
+        granted = ops.empty(n, np.float64)
         granted[order] = granted_sorted
         return granted
 

@@ -461,6 +461,10 @@ class RlSpec:
 #: kept local so plain spec builds stay engine-import-free).
 STORAGE_MODES = ("dense", "windowed")
 
+#: Array backends the engine can dispatch through (mirrors
+#: ``repro.backend.BACKEND_NAMES``; kept local for the same reason).
+BACKENDS = ("numpy", "numba")
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -477,6 +481,12 @@ class RunSpec:
     choice, not a model change), and ``storage="windowed"`` folds the
     cost book into running aggregates so memory stops scaling with the
     horizon (aggregates agree with dense at atol 1e-9).
+
+    ``backend`` picks the array backend the engine dispatches through:
+    ``"numpy"`` (default, the byte-identical reference) or ``"numba"``
+    (optional JIT; falls back to numpy with a warning where the package
+    is missing, held to atol 1e-9 otherwise). Shard and sweep workers
+    rebuild from the spec, so children inherit the parent's backend.
     """
 
     days: int = DEFAULT_DAYS
@@ -486,6 +496,7 @@ class RunSpec:
     voll_per_kwh: float = 0.0
     shards: int = 1
     storage: str = "dense"
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.days <= 0:
@@ -499,6 +510,11 @@ class RunSpec:
             raise ConfigError(
                 f"unknown run storage {self.storage!r}; "
                 f"available: {', '.join(STORAGE_MODES)}"
+            )
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown run backend {self.backend!r}; "
+                f"available: {', '.join(BACKENDS)}"
             )
         if not math.isfinite(self.scale) or self.scale <= 0:
             raise ConfigError(f"scale must be finite and positive, got {self.scale}")
